@@ -1,0 +1,141 @@
+//! Criterion benches covering the paper's figures.
+//!
+//! One benchmark group per figure/table of the evaluation section:
+//! * `fig10_vectorized`  — gradient time per vectorized kernel, DaCe AD vs baseline
+//! * `fig11_nonvectorized` — gradient time per loop kernel, DaCe AD vs baseline
+//! * `fig12_seidel2d_sweep` — Seidel2d gradient time over input sizes
+//! * `fig13_ilp_checkpoint` — store-all vs recompute-all vs ILP configurations
+//!
+//! Sizes are the scaled `Preset::Bench` sizes (see DESIGN.md §4); the
+//! per-figure report binaries print the full tables.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dace_ad::{AdOptions, CheckpointStrategy, GradientEngine};
+use npbench::{kernels_in, Category, Preset, Sizes};
+
+fn bench_category(c: &mut Criterion, group_name: &str, category: Category) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for kernel in kernels_in(category) {
+        let sizes = kernel.sizes(Preset::Test);
+        let inputs = kernel.inputs(&sizes);
+        let sdfg = kernel.build_dace(&sizes);
+        let symbols = kernel.symbols(&sizes);
+        let wrt = kernel.wrt();
+        let engine =
+            GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("dace_ad", kernel.name()),
+            &inputs,
+            |b, inputs| b.iter(|| engine.run(inputs).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", kernel.name()),
+            &inputs,
+            |b, inputs| b.iter(|| kernel.run_jax(&sizes, inputs)),
+        );
+    }
+    group.finish();
+}
+
+fn fig10_vectorized(c: &mut Criterion) {
+    bench_category(c, "fig10_vectorized", Category::Vectorized);
+}
+
+fn fig11_nonvectorized(c: &mut Criterion) {
+    bench_category(c, "fig11_nonvectorized", Category::Loops);
+}
+
+fn fig12_seidel2d_sweep(c: &mut Criterion) {
+    let kernel = npbench::kernel_by_name("seidel2d").unwrap();
+    let mut group = c.benchmark_group("fig12_seidel2d_sweep");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let sizes = Sizes::new(n, 0, 2);
+        let inputs = kernel.inputs(&sizes);
+        let sdfg = kernel.build_dace(&sizes);
+        let symbols = kernel.symbols(&sizes);
+        let wrt = kernel.wrt();
+        let engine =
+            GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("dace_ad", n), &inputs, |b, inputs| {
+            b.iter(|| engine.run(inputs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &inputs, |b, inputs| {
+            b.iter(|| kernel.run_jax(&sizes, inputs))
+        });
+    }
+    group.finish();
+}
+
+fn fig13_ilp_checkpoint(c: &mut Criterion) {
+    use dace_frontend::{ArrayExpr, ProgramBuilder};
+    let n: usize = 96;
+    let mut b = ProgramBuilder::new("listing1");
+    let sym_n = b.symbol("N");
+    b.add_input("C", vec![sym_n.clone(), sym_n.clone()]).unwrap();
+    b.add_input("D", vec![sym_n.clone(), sym_n.clone()]).unwrap();
+    for t in ["A0", "A1", "A2", "sin0", "sin1", "sin2", "D1", "D2", "tmp"] {
+        b.add_transient(t, vec![sym_n.clone(), sym_n.clone()]).unwrap();
+    }
+    b.add_scalar("OUT").unwrap();
+    b.assign("A0", ArrayExpr::a("C").mul(ArrayExpr::a("D")));
+    b.assign("sin0", ArrayExpr::a("A0").sin());
+    b.assign("D1", ArrayExpr::a("D").mul(ArrayExpr::s(6.0)));
+    b.assign("A1", ArrayExpr::a("C").mul(ArrayExpr::a("D1")));
+    b.assign("sin1", ArrayExpr::a("A1").sin());
+    b.assign("D2", ArrayExpr::a("D1").mul(ArrayExpr::s(3.0)));
+    b.assign("A2", ArrayExpr::a("C").mul(ArrayExpr::a("D2")));
+    b.assign("sin2", ArrayExpr::a("A2").sin());
+    b.assign(
+        "tmp",
+        ArrayExpr::a("sin0").add(ArrayExpr::a("sin1")).add(ArrayExpr::a("sin2")),
+    );
+    b.sum_into("OUT", "tmp", false);
+    let fwd = b.build().unwrap();
+
+    let mut symbols = HashMap::new();
+    symbols.insert("N".to_string(), n as i64);
+    let mut inputs = HashMap::new();
+    inputs.insert("C".to_string(), dace_tensor::random::uniform(&[n, n], 61));
+    inputs.insert("D".to_string(), dace_tensor::random::uniform(&[n, n], 62));
+
+    let mut group = c.benchmark_group("fig13_ilp_checkpoint");
+    group.sample_size(10);
+    let strategies: Vec<(&str, CheckpointStrategy)> = vec![
+        ("store_all", CheckpointStrategy::StoreAll),
+        ("recompute_all", CheckpointStrategy::RecomputeAll),
+        (
+            "ilp",
+            CheckpointStrategy::Ilp {
+                memory_limit_bytes: 9 * n * n * 8,
+            },
+        ),
+    ];
+    for (label, strategy) in strategies {
+        let engine = GradientEngine::new(
+            &fwd,
+            "OUT",
+            &["C", "D"],
+            &symbols,
+            &AdOptions { strategy },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new(label, n), &inputs, |b, inputs| {
+            b.iter(|| engine.run(inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig10_vectorized,
+    fig11_nonvectorized,
+    fig12_seidel2d_sweep,
+    fig13_ilp_checkpoint
+);
+criterion_main!(figures);

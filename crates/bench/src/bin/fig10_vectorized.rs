@@ -1,0 +1,15 @@
+//! Fig. 10 — vectorized benchmarks: runtime and speedup.
+use dace_bench::{measure_kernel, print_table};
+use npbench::{kernels_in, Category, Preset};
+
+fn main() {
+    let mut rows = Vec::new();
+    for kernel in kernels_in(Category::Vectorized) {
+        match measure_kernel(kernel.as_ref(), Preset::Bench, 3) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("{}: {e}", kernel.name()),
+        }
+    }
+    rows.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    print_table("Fig. 10: vectorized benchmarks", &rows);
+}

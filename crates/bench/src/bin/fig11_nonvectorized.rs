@@ -1,0 +1,29 @@
+//! Fig. 11 — non-vectorized benchmarks: runtime/speedup plus the
+//! forward-pass program-size comparison.
+use dace_bench::{loc_comparison, measure_kernel, print_table};
+use npbench::{kernels_in, Category, Preset};
+
+fn main() {
+    let kernels = kernels_in(Category::Loops);
+    let mut rows = Vec::new();
+    for kernel in &kernels {
+        match measure_kernel(kernel.as_ref(), Preset::Bench, 2) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("{}: {e}", kernel.name()),
+        }
+    }
+    rows.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    print_table("Fig. 11 (top): non-vectorized benchmarks", &rows);
+
+    println!("\n=== Fig. 11 (bottom): forward-pass program size (statements) ===");
+    println!("{:<12} {:>10} {:>10} {:>8}", "kernel", "DaCe AD", "baseline", "ratio");
+    for (name, dace, jax) in loc_comparison(&kernels) {
+        println!(
+            "{:<12} {:>10} {:>10} {:>7.2}x",
+            name,
+            dace,
+            jax,
+            jax as f64 / dace.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 12 — Seidel2d input-size sweep: gradient time of DaCe AD and the
+//! baseline as the order N of the input matrix grows.
+use dace_bench::measure_kernel_sized;
+use npbench::{kernel_by_name, Sizes};
+
+fn main() {
+    let kernel = kernel_by_name("seidel2d").unwrap();
+    println!("=== Fig. 12: Seidel2d size sweep (TSTEPS = 4) ===");
+    println!("{:>6} {:>14} {:>14} {:>10}", "N", "DaCe AD [ms]", "baseline [ms]", "speedup");
+    for n in [8usize, 12, 16, 20, 24, 28, 32] {
+        let sizes = Sizes::new(n, 0, 4);
+        match measure_kernel_sized(kernel.as_ref(), &sizes, 2) {
+            Ok(row) => println!(
+                "{:>6} {:>14.3} {:>14.3} {:>9.2}x",
+                n,
+                row.dace.as_secs_f64() * 1e3,
+                row.jax.as_secs_f64() * 1e3,
+                row.speedup
+            ),
+            Err(e) => eprintln!("N={n}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 14 — GPU comparison proxy.
+//!
+//! No GPU is available in this reproduction; the V100 JAX JIT configuration
+//! is approximated by dividing the measured baseline time by the machine's
+//! kernel-level parallel speedup (measured on the rayon matmul kernel).  The
+//! qualitative claim being checked is that the per-iteration overheads of
+//! the baseline are algorithmic and are not erased by a faster backend.
+use dace_bench::{measure_kernel, parallel_kernel_speedup};
+use npbench::{kernel_by_name, Preset};
+
+fn main() {
+    let factor = parallel_kernel_speedup();
+    println!("=== Fig. 14: DaCe AD [CPU] vs baseline with a {factor:.1}x faster backend (GPU proxy) ===");
+    println!(
+        "{:<12} {:>14} {:>20} {:>10}",
+        "kernel", "DaCe AD [ms]", "baseline/GPU-proxy", "speedup"
+    );
+    for name in ["seidel2d", "jacobi2d", "trmm", "syrk", "syr2k", "conv2d"] {
+        let kernel = kernel_by_name(name).unwrap();
+        match measure_kernel(kernel.as_ref(), Preset::Bench, 2) {
+            Ok(row) => {
+                let proxy = row.jax.as_secs_f64() / factor;
+                println!(
+                    "{:<12} {:>14.3} {:>20.3} {:>9.2}x",
+                    name,
+                    row.dace.as_secs_f64() * 1e3,
+                    proxy * 1e3,
+                    proxy / row.dace.as_secs_f64().max(1e-12)
+                );
+            }
+            Err(e) => eprintln!("{name}: {e}"),
+        }
+    }
+}

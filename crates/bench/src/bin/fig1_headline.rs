@@ -1,0 +1,17 @@
+//! Fig. 1 — headline speedups of DaCe AD over the JAX-like baseline on a
+//! selection of NPBench kernels.
+use dace_bench::{fig1_kernel_names, measure_kernel, print_table};
+use npbench::{kernel_by_name, Preset};
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in fig1_kernel_names() {
+        let kernel = kernel_by_name(name).expect("kernel registered");
+        match measure_kernel(kernel.as_ref(), Preset::Bench, 3) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("{name}: {e}"),
+        }
+    }
+    rows.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).unwrap());
+    print_table("Fig. 1: DaCe AD vs JAX-like baseline (headline)", &rows);
+}

@@ -1,0 +1,22 @@
+//! Table I — qualitative feature matrix of AD tools, with the coverage of
+//! this reproduction in the DaCe AD column.
+fn main() {
+    println!("Table I: Overview of existing solutions for automatic differentiation");
+    println!("{:<34} {:>10} {:>12} {:>8} {:>8}", "capability", "PyTorch/TF", "JAX", "Enzyme", "DaCe AD");
+    let rows = [
+        ("supports ML target programs", "yes", "yes", "partial", "yes"),
+        ("supports scientific computing", "partial", "partial", "yes", "yes"),
+        ("performance on ML", "yes", "yes", "partial", "yes"),
+        ("performance on scientific codes", "partial", "partial", "partial", "yes"),
+        ("minimal code changes (ML)", "yes", "yes", "yes", "yes"),
+        ("minimal code changes (scientific)", "no", "no", "yes", "yes"),
+        ("automatic checkpointing", "no", "no", "partial", "yes (ILP)"),
+    ];
+    for (cap, a, b, c, d) in rows {
+        println!("{cap:<34} {a:>10} {b:>12} {c:>8} {d:>8}");
+    }
+    println!("\nIn this reproduction the DaCe AD column is exercised by:");
+    println!("  - ML kernels (mlp, conv2d) and scientific kernels (stencils, BLAS-style loops)");
+    println!("  - zero code changes: the same frontend programs are differentiated as-is");
+    println!("  - ILP-based automatic checkpointing (see fig13_ilp_checkpoint)");
+}

@@ -1,0 +1,294 @@
+//! Frontend expression types: whole-array expressions and element expressions.
+//!
+//! These are the NumPy-flavoured surface syntax of the builder; they lower to
+//! SDFG maps, tasklets and memlets in `lower.rs`.
+
+use dace_sdfg::{BinOp, SymExpr, UnOp};
+
+/// A whole-array element-wise expression (NumPy-style ufunc arithmetic).
+///
+/// All array operands must have the same shape as the assignment target;
+/// scalars broadcast.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrayExpr {
+    /// Reference to a whole array.
+    Ref(String),
+    /// Scalar constant broadcast over the output shape.
+    Scalar(f64),
+    /// Element-wise unary operation.
+    Unary(UnOp, Box<ArrayExpr>),
+    /// Element-wise binary operation.
+    Binary(BinOp, Box<ArrayExpr>, Box<ArrayExpr>),
+}
+
+impl ArrayExpr {
+    /// Reference an array by name.
+    pub fn a(name: impl Into<String>) -> Self {
+        ArrayExpr::Ref(name.into())
+    }
+
+    /// Scalar constant.
+    pub fn s(v: f64) -> Self {
+        ArrayExpr::Scalar(v)
+    }
+
+    /// `self + other`
+    pub fn add(self, other: ArrayExpr) -> Self {
+        ArrayExpr::Binary(BinOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`
+    pub fn sub(self, other: ArrayExpr) -> Self {
+        ArrayExpr::Binary(BinOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self * other` (element-wise)
+    pub fn mul(self, other: ArrayExpr) -> Self {
+        ArrayExpr::Binary(BinOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// `self / other` (element-wise)
+    pub fn div(self, other: ArrayExpr) -> Self {
+        ArrayExpr::Binary(BinOp::Div, Box::new(self), Box::new(other))
+    }
+
+    /// `self ** e`
+    pub fn pow(self, e: f64) -> Self {
+        ArrayExpr::Binary(BinOp::Pow, Box::new(self), Box::new(ArrayExpr::Scalar(e)))
+    }
+
+    /// Element-wise `sin`.
+    pub fn sin(self) -> Self {
+        ArrayExpr::Unary(UnOp::Sin, Box::new(self))
+    }
+
+    /// Element-wise `cos`.
+    pub fn cos(self) -> Self {
+        ArrayExpr::Unary(UnOp::Cos, Box::new(self))
+    }
+
+    /// Element-wise `exp`.
+    pub fn exp(self) -> Self {
+        ArrayExpr::Unary(UnOp::Exp, Box::new(self))
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn log(self) -> Self {
+        ArrayExpr::Unary(UnOp::Log, Box::new(self))
+    }
+
+    /// Element-wise `sqrt`.
+    pub fn sqrt(self) -> Self {
+        ArrayExpr::Unary(UnOp::Sqrt, Box::new(self))
+    }
+
+    /// Element-wise `tanh`.
+    pub fn tanh(self) -> Self {
+        ArrayExpr::Unary(UnOp::Tanh, Box::new(self))
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(self) -> Self {
+        ArrayExpr::Unary(UnOp::Relu, Box::new(self))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(self) -> Self {
+        ArrayExpr::Unary(UnOp::Sigmoid, Box::new(self))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(self) -> Self {
+        ArrayExpr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// Arrays referenced by the expression.
+    pub fn arrays(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_arrays(&mut out);
+        out
+    }
+
+    fn collect_arrays(&self, out: &mut Vec<String>) {
+        match self {
+            ArrayExpr::Ref(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            ArrayExpr::Scalar(_) => {}
+            ArrayExpr::Unary(_, a) => a.collect_arrays(out),
+            ArrayExpr::Binary(_, a, b) => {
+                a.collect_arrays(out);
+                b.collect_arrays(out);
+            }
+        }
+    }
+}
+
+/// A scalar element expression: reads individual array elements at symbolic
+/// indices (used for element assignments and map bodies).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ElemExpr {
+    /// Constant.
+    Const(f64),
+    /// `array[indices]`
+    Elem(String, Vec<SymExpr>),
+    /// Integer iteration symbol promoted to float.
+    Iter(String),
+    /// Unary operation.
+    Un(UnOp, Box<ElemExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<ElemExpr>, Box<ElemExpr>),
+}
+
+/// Shorthand: reference `array[indices]`.
+pub fn elem(array: impl Into<String>, indices: Vec<SymExpr>) -> ElemExpr {
+    ElemExpr::Elem(array.into(), indices)
+}
+
+/// Shorthand: a constant element expression.
+pub fn lit(v: f64) -> ElemExpr {
+    ElemExpr::Const(v)
+}
+
+/// Shorthand: an iteration symbol as a value.
+pub fn iter_val(name: impl Into<String>) -> ElemExpr {
+    ElemExpr::Iter(name.into())
+}
+
+impl ElemExpr {
+    /// `self + other`
+    pub fn add(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`
+    pub fn sub(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`
+    pub fn mul(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// `self / other`
+    pub fn div(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Div, Box::new(self), Box::new(other))
+    }
+
+    /// `self ** e` (constant exponent)
+    pub fn pow(self, e: f64) -> Self {
+        ElemExpr::Bin(BinOp::Pow, Box::new(self), Box::new(ElemExpr::Const(e)))
+    }
+
+    /// `max(self, other)`
+    pub fn max(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Max, Box::new(self), Box::new(other))
+    }
+
+    /// `min(self, other)`
+    pub fn min(self, other: ElemExpr) -> Self {
+        ElemExpr::Bin(BinOp::Min, Box::new(self), Box::new(other))
+    }
+
+    /// `sin(self)`
+    pub fn sin(self) -> Self {
+        ElemExpr::Un(UnOp::Sin, Box::new(self))
+    }
+
+    /// `cos(self)`
+    pub fn cos(self) -> Self {
+        ElemExpr::Un(UnOp::Cos, Box::new(self))
+    }
+
+    /// `exp(self)`
+    pub fn exp(self) -> Self {
+        ElemExpr::Un(UnOp::Exp, Box::new(self))
+    }
+
+    /// `ln(self)`
+    pub fn log(self) -> Self {
+        ElemExpr::Un(UnOp::Log, Box::new(self))
+    }
+
+    /// `sqrt(self)`
+    pub fn sqrt(self) -> Self {
+        ElemExpr::Un(UnOp::Sqrt, Box::new(self))
+    }
+
+    /// `tanh(self)`
+    pub fn tanh(self) -> Self {
+        ElemExpr::Un(UnOp::Tanh, Box::new(self))
+    }
+
+    /// ReLU.
+    pub fn relu(self) -> Self {
+        ElemExpr::Un(UnOp::Relu, Box::new(self))
+    }
+
+    /// Sigmoid.
+    pub fn sigmoid(self) -> Self {
+        ElemExpr::Un(UnOp::Sigmoid, Box::new(self))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Self {
+        ElemExpr::Un(UnOp::Neg, Box::new(self))
+    }
+
+    /// The distinct `(array, indices)` element reads in the expression, in
+    /// first-appearance order.
+    pub fn element_reads(&self) -> Vec<(String, Vec<SymExpr>)> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<(String, Vec<SymExpr>)>) {
+        match self {
+            ElemExpr::Const(_) | ElemExpr::Iter(_) => {}
+            ElemExpr::Elem(name, idx) => {
+                let key = (name.clone(), idx.clone());
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+            ElemExpr::Un(_, a) => a.collect_reads(out),
+            ElemExpr::Bin(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_expr_collects_references() {
+        let e = ArrayExpr::a("A").mul(ArrayExpr::a("B")).add(ArrayExpr::a("A")).sin();
+        assert_eq!(e.arrays(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn elem_expr_collects_distinct_reads() {
+        let i = SymExpr::sym("i");
+        let e = elem("A", vec![i.clone()])
+            .add(elem("A", vec![i.clone()]))
+            .mul(elem("B", vec![i.add_int(1)]));
+        let reads = e.element_reads();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].0, "A");
+        assert_eq!(reads[1].0, "B");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = lit(2.0).mul(iter_val("i")).add(elem("X", vec![SymExpr::int(0)]).exp());
+        assert_eq!(e.element_reads().len(), 1);
+    }
+}

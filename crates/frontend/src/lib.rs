@@ -1,0 +1,16 @@
+//! # dace-frontend
+//!
+//! A NumPy-like program builder that lowers to SDFGs, standing in for the
+//! Python/NumPy (and PyTorch/ONNX/Fortran) frontends of DaCe and DaCeML.
+//! Every builder statement corresponds to one line of the original NumPy
+//! program; the statement count is the "lines of code" proxy used by the
+//! Fig. 11 program-size comparison.
+
+pub mod builder;
+pub mod expr;
+
+pub use builder::ProgramBuilder;
+pub use expr::{elem, iter_val, lit, ArrayExpr, ElemExpr};
+
+/// Convenience alias used by examples: an element expression.
+pub type ScalarRef = ElemExpr;

@@ -1,0 +1,24 @@
+//! # dace-ilp
+//!
+//! A small, dependency-free integer linear programming solver used by the
+//! automatic checkpointing pass of DaCe AD (Section IV of the paper).
+//!
+//! The paper formulates the store-vs-recompute decision as a 0/1 ILP with one
+//! binary decision variable per forwarded array container and one constraint
+//! per entry of the memory-measurement sequence.  The number of decision
+//! variables is therefore small (the paper emphasises this as a design
+//! advantage over Checkmate's per-operator variables), so a textbook
+//! branch-and-bound over an LP relaxation solved with dense simplex is more
+//! than adequate.
+//!
+//! * [`lp`] — a dense Big-M simplex solver for problems in the form
+//!   `minimize c·x  s.t.  A·x ≤ b, 0 ≤ x ≤ u`.
+//! * [`ilp`] — branch and bound on top of the LP relaxation for variables
+//!   marked as binary, with an exhaustive-search fallback used in tests to
+//!   cross-validate optimality.
+
+pub mod ilp;
+pub mod lp;
+
+pub use ilp::{IlpProblem, IlpSolution, IlpStatus, VarKind};
+pub use lp::{LpProblem, LpSolution, LpStatus};

@@ -1,0 +1,359 @@
+//! Dense Big-M simplex solver for linear programs of the form
+//!
+//! ```text
+//! minimize    c · x
+//! subject to  A · x ≤ b          (general rows, b may be negative)
+//!             0 ≤ x ≤ u          (optional per-variable upper bounds)
+//! ```
+//!
+//! The implementation is a textbook tableau simplex with Bland's anti-cycling
+//! rule.  Rows with negative right-hand sides are normalised into ≥ rows and
+//! receive an artificial variable with a Big-M objective penalty.  Problem
+//! sizes produced by the checkpointing model are tiny (tens of variables,
+//! hundreds of rows), so no sparsity or numerical refinements are needed.
+
+/// Outcome classification of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A linear program in `minimize c·x s.t. A·x ≤ b, 0 ≤ x ≤ u` form.
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    /// Objective coefficients (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Constraint matrix rows.
+    pub rows: Vec<Vec<f64>>,
+    /// Right-hand sides, one per row.
+    pub rhs: Vec<f64>,
+    /// Optional upper bounds per variable (`None` = unbounded above).
+    pub upper_bounds: Vec<Option<f64>>,
+}
+
+/// Solution of an LP.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Status of the solve.
+    pub status: LpStatus,
+    /// Optimal variable assignment (empty unless `Optimal`).
+    pub values: Vec<f64>,
+    /// Optimal objective value (`f64::INFINITY` when infeasible).
+    pub objective: f64,
+}
+
+impl LpProblem {
+    /// Create a problem with `n` variables and no constraints.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            upper_bounds: vec![None; num_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Set the objective coefficient of a variable.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Add a `row · x ≤ rhs` constraint.
+    pub fn add_le_constraint(&mut self, row: Vec<f64>, rhs: f64) {
+        assert_eq!(row.len(), self.num_vars(), "constraint arity mismatch");
+        self.rows.push(row);
+        self.rhs.push(rhs);
+    }
+
+    /// Add a `row · x ≥ rhs` constraint (stored as `-row · x ≤ -rhs`).
+    pub fn add_ge_constraint(&mut self, row: Vec<f64>, rhs: f64) {
+        self.add_le_constraint(row.iter().map(|v| -v).collect(), -rhs);
+    }
+
+    /// Set an upper bound for a variable.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
+        self.upper_bounds[var] = Some(bound);
+    }
+
+    /// Solve with the Big-M simplex method.
+    pub fn solve(&self) -> LpSolution {
+        let n = self.num_vars();
+        // Materialise upper bounds as rows.
+        let mut rows = self.rows.clone();
+        let mut rhs = self.rhs.clone();
+        for (i, ub) in self.upper_bounds.iter().enumerate() {
+            if let Some(u) = ub {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                rows.push(row);
+                rhs.push(*u);
+            }
+        }
+        let m = rows.len();
+        if m == 0 {
+            // Unconstrained: optimum is 0 for non-negative costs, else unbounded.
+            if self.objective.iter().all(|&c| c >= 0.0) {
+                return LpSolution {
+                    status: LpStatus::Optimal,
+                    values: vec![0.0; n],
+                    objective: 0.0,
+                };
+            }
+            return LpSolution {
+                status: LpStatus::Unbounded,
+                values: Vec::new(),
+                objective: f64::NEG_INFINITY,
+            };
+        }
+
+        // Big-M magnitude scaled to the data.
+        let max_abs = self
+            .objective
+            .iter()
+            .chain(rhs.iter())
+            .chain(rows.iter().flatten())
+            .fold(1.0f64, |acc, &v| acc.max(v.abs()));
+        let big_m = max_abs * 1e6;
+
+        // Columns: n structural + m slack/surplus + (#artificial).
+        let mut artificial_rows: Vec<usize> = Vec::new();
+        for (i, &b) in rhs.iter().enumerate() {
+            if b < 0.0 {
+                artificial_rows.push(i);
+            }
+        }
+        let num_art = artificial_rows.len();
+        let total_cols = n + m + num_art;
+
+        // Build tableau: one row per constraint, plus objective row.
+        let mut tab = vec![vec![0.0f64; total_cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut art_idx = 0usize;
+        for i in 0..m {
+            let negate = rhs[i] < 0.0;
+            let sign = if negate { -1.0 } else { 1.0 };
+            for j in 0..n {
+                tab[i][j] = sign * rows[i][j];
+            }
+            // slack (for ≤) or surplus (for normalised ≥) column.
+            tab[i][n + i] = if negate { -1.0 } else { 1.0 };
+            tab[i][total_cols] = sign * rhs[i];
+            if negate {
+                let a_col = n + m + art_idx;
+                tab[i][a_col] = 1.0;
+                basis[i] = a_col;
+                art_idx += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+
+        // Objective coefficients (minimisation): structural costs + Big-M on artificials.
+        let mut cost = vec![0.0f64; total_cols];
+        cost[..n].copy_from_slice(&self.objective);
+        for k in 0..num_art {
+            cost[n + m + k] = big_m;
+        }
+
+        // Reduced-cost row: z_j - c_j computed on demand.
+        let max_iters = 50 * (total_cols + m);
+        for _ in 0..max_iters {
+            // Compute reduced costs: c_j - c_B · B^-1 A_j using the tableau.
+            let mut entering: Option<usize> = None;
+            let mut best = -1e-9;
+            for j in 0..total_cols {
+                if basis.contains(&j) {
+                    continue;
+                }
+                let mut zj = 0.0;
+                for i in 0..m {
+                    zj += cost[basis[i]] * tab[i][j];
+                }
+                let reduced = cost[j] - zj;
+                if reduced < best {
+                    best = reduced;
+                    entering = Some(j);
+                }
+            }
+            let Some(enter) = entering else {
+                break; // optimal
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if tab[i][enter] > 1e-9 {
+                    let ratio = tab[i][total_cols] / tab[i][enter];
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return LpSolution {
+                    status: LpStatus::Unbounded,
+                    values: Vec::new(),
+                    objective: f64::NEG_INFINITY,
+                };
+            };
+            // Pivot.
+            let pivot = tab[leave][enter];
+            for v in tab[leave].iter_mut() {
+                *v /= pivot;
+            }
+            for i in 0..m {
+                if i != leave && tab[i][enter].abs() > 1e-12 {
+                    let factor = tab[i][enter];
+                    for j in 0..=total_cols {
+                        tab[i][j] -= factor * tab[leave][j];
+                    }
+                }
+            }
+            basis[leave] = enter;
+        }
+
+        // Extract solution.
+        let mut values = vec![0.0f64; total_cols];
+        for i in 0..m {
+            values[basis[i]] = tab[i][total_cols];
+        }
+        // Any artificial variable left in the basis with a positive value
+        // means the original problem is infeasible.
+        for k in 0..num_art {
+            if values[n + m + k] > 1e-6 {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: f64::INFINITY,
+                };
+            }
+        }
+        let x: Vec<f64> = values[..n].to_vec();
+        let objective = self
+            .objective
+            .iter()
+            .zip(x.iter())
+            .map(|(&c, &v)| c * v)
+            .sum();
+        LpSolution {
+            status: LpStatus::Optimal,
+            values: x,
+            objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // minimize -x - 2y s.t. x + y <= 4, x <= 3, y <= 2
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -2.0);
+        lp.add_le_constraint(vec![1.0, 1.0], 4.0);
+        lp.set_upper_bound(0, 3.0);
+        lp.set_upper_bound(1, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.objective, -6.0);
+    }
+
+    #[test]
+    fn ge_constraints_via_negative_rhs() {
+        // minimize x + y s.t. x + y >= 3, x <= 5, y <= 5
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_ge_constraint(vec![1.0, 1.0], 3.0);
+        lp.set_upper_bound(0, 5.0);
+        lp.set_upper_bound(1, 5.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_le_constraint(vec![1.0], 1.0);
+        lp.add_ge_constraint(vec![1.0], 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // minimize -x with no constraints binding x above
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_ge_constraint(vec![1.0], 0.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_nonnegative_costs() {
+        let mut lp = LpProblem::new(3);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(2, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints; just make sure it terminates optimally.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        for _ in 0..5 {
+            lp.add_le_constraint(vec![1.0, 1.0], 2.0);
+        }
+        lp.add_le_constraint(vec![1.0, 0.0], 2.0);
+        lp.add_le_constraint(vec![0.0, 1.0], 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -2.0);
+    }
+
+    #[test]
+    fn binding_mix_of_bounds_and_rows() {
+        // minimize 2x + 3y s.t. x + 2y >= 4, x >= 0, y >= 0, x <= 10, y <= 10
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 3.0);
+        lp.add_ge_constraint(vec![1.0, 2.0], 4.0);
+        lp.set_upper_bound(0, 10.0);
+        lp.set_upper_bound(1, 10.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Cheapest way to satisfy x + 2y >= 4 is y = 2 (cost 6) vs x = 4 (cost 8).
+        assert_close(sol.objective, 6.0);
+    }
+}

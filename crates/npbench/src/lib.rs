@@ -1,0 +1,176 @@
+//! # npbench
+//!
+//! An NPBench-style kernel suite for the DaCe AD reproduction.  Every kernel
+//! is implemented twice:
+//!
+//! * as a DaCe-frontend program (NumPy-style statements lowered to an SDFG
+//!   and differentiated by `dace-ad`), and
+//! * as a jax-rs traced function (immutable arrays, dynamic slices,
+//!   `fori_loop`, store-all tape).
+//!
+//! Both sides consume bit-identical seeded inputs, append the same sum
+//! reduction to obtain a scalar dependent variable (as §V-A of the paper
+//! does), and their gradients are cross-validated with `allclose` in the test
+//! suite.  The benchmark harness (`dace-bench`) times both to regenerate the
+//! paper's figures.
+
+pub mod loops;
+pub mod runner;
+pub mod vectorized;
+
+use std::collections::HashMap;
+
+use dace_sdfg::Sdfg;
+use dace_tensor::Tensor;
+
+/// Benchmark category (mirrors the split of the paper's evaluation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Whole-array programs dominated by BLAS-style operations (Fig. 10).
+    Vectorized,
+    /// Programs with sequential loops, control flow and element accesses
+    /// (Fig. 11).
+    Loops,
+}
+
+/// Problem-size preset.
+///
+/// `Test` sizes are used by the cross-validation test suite; `Bench` sizes by
+/// the benchmark harness.  The paper's "paper" NPBench sizes are scaled down
+/// so every configuration completes in seconds under the SDFG interpreter
+/// (documented substitution, see DESIGN.md §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// Tiny sizes for gradient cross-validation.
+    Test,
+    /// Scaled benchmark sizes.
+    Bench,
+}
+
+/// Concrete problem sizes for one kernel instance.
+#[derive(Clone, Debug, Default)]
+pub struct Sizes {
+    /// Primary dimension.
+    pub n: usize,
+    /// Secondary dimension.
+    pub m: usize,
+    /// Time steps (stencil kernels).
+    pub tsteps: usize,
+}
+
+impl Sizes {
+    /// Construct sizes.
+    pub fn new(n: usize, m: usize, tsteps: usize) -> Self {
+        Sizes { n, m, tsteps }
+    }
+}
+
+/// Result of running one side (DaCe AD or jax-rs) of a kernel.
+#[derive(Clone, Debug)]
+pub struct GradOutput {
+    /// Scalar value of the dependent output.
+    pub output: f64,
+    /// Gradients of the requested inputs, keyed by array name.
+    pub gradients: HashMap<String, Tensor>,
+}
+
+/// A kernel implemented on both systems.
+pub trait Kernel: Sync {
+    /// NPBench kernel name.
+    fn name(&self) -> &'static str;
+    /// Category of the kernel.
+    fn category(&self) -> Category;
+    /// Sizes for a preset.
+    fn sizes(&self, preset: Preset) -> Sizes;
+    /// SDFG symbol values for the given sizes.
+    fn symbols(&self, s: &Sizes) -> HashMap<String, i64>;
+    /// Seeded input tensors.
+    fn inputs(&self, s: &Sizes) -> HashMap<String, Tensor>;
+    /// The DaCe forward program (with the sum reduction writing `OUT`).
+    fn build_dace(&self, s: &Sizes) -> Sdfg;
+    /// The independent variables to differentiate with respect to.
+    fn wrt(&self) -> Vec<&'static str>;
+    /// Run the jax-rs side: forward value plus gradients of `wrt`.
+    fn run_jax(&self, s: &Sizes, inputs: &HashMap<String, Tensor>) -> GradOutput;
+    /// Number of forward-pass statements in the jax-rs implementation
+    /// (counted as traced-op construction sites; the Fig. 11 program-size
+    /// proxy together with the DaCe builder's statement count).
+    fn jax_loc(&self) -> usize {
+        0
+    }
+}
+
+/// Registry of all kernels.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    let mut v = vectorized::kernels();
+    v.extend(loops::kernels());
+    v
+}
+
+/// Kernels of one category.
+pub fn kernels_in(category: Category) -> Vec<Box<dyn Kernel>> {
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.category() == category)
+        .collect()
+}
+
+/// Look a kernel up by name.
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    all_kernels().into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_dace_gradients;
+
+    #[test]
+    fn registry_has_both_categories() {
+        let all = all_kernels();
+        assert!(all.len() >= 12, "expected a substantial kernel suite");
+        assert!(all.iter().any(|k| k.category() == Category::Vectorized));
+        assert!(all.iter().any(|k| k.category() == Category::Loops));
+        // Names are unique.
+        let mut names: Vec<_> = all.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn kernel_lookup_by_name() {
+        assert!(kernel_by_name("atax").is_some());
+        assert!(kernel_by_name("seidel2d").is_some());
+        assert!(kernel_by_name("not_a_kernel").is_none());
+    }
+
+    /// The §V-A validation: DaCe AD gradients match the jax-rs baseline
+    /// gradients (np.allclose) for every kernel at test sizes.
+    #[test]
+    fn cross_validate_all_kernels() {
+        for kernel in all_kernels() {
+            let sizes = kernel.sizes(Preset::Test);
+            let inputs = kernel.inputs(&sizes);
+            let dace = run_dace_gradients(kernel.as_ref(), &sizes, &inputs)
+                .unwrap_or_else(|e| panic!("{}: DaCe AD failed: {e}", kernel.name()));
+            let jax = kernel.run_jax(&sizes, &inputs);
+            assert!(
+                (dace.output - jax.output).abs() <= 1e-6 * (1.0 + jax.output.abs()),
+                "{}: forward outputs differ: dace={} jax={}",
+                kernel.name(),
+                dace.output,
+                jax.output
+            );
+            for name in kernel.wrt() {
+                let a = &dace.gradients[name];
+                let b = &jax.gradients[name];
+                assert!(
+                    dace_tensor::allclose(a, b, 1e-5, 1e-7),
+                    "{}: gradient of {name} differs",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dace-runtime
+//!
+//! An interpreter/executor for SDFGs, standing in for the DaCe code generator
+//! and CPU runtime of the original system (see `DESIGN.md` for the
+//! substitution rationale).  Both DaCe AD and the JAX-like baseline in this
+//! repository ultimately execute on the same `dace-tensor` kernels, so the
+//! performance comparisons in the benchmark harness measure algorithmic
+//! differences (in-place gradients, no per-iteration bound checks, compact
+//! backward loops) rather than substrate differences.
+//!
+//! * [`executor::Executor`] — runs an SDFG given symbol values and inputs.
+//! * [`memory::MemoryTracker`] — allocation tracking and peak-memory
+//!   measurement used by the checkpointing experiments (Fig. 13).
+
+pub mod error;
+pub mod executor;
+pub mod memory;
+
+pub use error::{RuntimeError, RuntimeResult};
+pub use executor::{ExecutionReport, Executor};
+pub use memory::MemoryTracker;

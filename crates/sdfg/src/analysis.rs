@@ -1,0 +1,586 @@
+//! Dataflow analyses over SDFGs.
+//!
+//! The central analysis is the **critical computation subgraph** (CCS) of
+//! Section II of the paper: the minimal subgraph containing only the
+//! computations through which the independent variables contribute to the
+//! dependent variable.  It is computed by a reverse breadth-first traversal
+//! that starts from the dependent output and propagates across states,
+//! loops (to a fixed point, matching §III-B without unrolling) and branches
+//! (as an over-approximation, pruned at runtime by stored conditionals).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::graph::{DataflowGraph, DfNode, NodeId};
+use crate::memlet::{IndexRange, Subset};
+use crate::sdfg::{ArrayDesc, ControlFlow, Sdfg};
+use crate::symexpr::SymExpr;
+
+/// Result of the CCS analysis.
+#[derive(Clone, Debug, Default)]
+pub struct CcsInfo {
+    /// For each state id, the set of top-level node ids that belong to the CCS.
+    pub per_state: BTreeMap<usize, BTreeSet<NodeId>>,
+    /// Arrays that (transitively) contribute to the dependent output.
+    pub contributing_arrays: BTreeSet<String>,
+    /// Number of fixed-point iterations performed over loop bodies (reported
+    /// for diagnostics; the paper's observation is that this converges after
+    /// a small number of body evaluations).
+    pub loop_iterations: usize,
+}
+
+impl CcsInfo {
+    /// True if a state has any CCS node.
+    pub fn state_active(&self, state: usize) -> bool {
+        self.per_state
+            .get(&state)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// The CCS nodes of a state (empty set if none).
+    pub fn nodes_of(&self, state: usize) -> BTreeSet<NodeId> {
+        self.per_state.get(&state).cloned().unwrap_or_default()
+    }
+}
+
+/// Compute the critical computation subgraph of `sdfg` with respect to the
+/// dependent output array `output`.
+pub fn compute_ccs(sdfg: &Sdfg, output: &str) -> CcsInfo {
+    let mut info = CcsInfo::default();
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    live.insert(output.to_string());
+    analyze_cfg(sdfg, &sdfg.cfg, &mut live, &mut info);
+    info.contributing_arrays = live;
+    info
+}
+
+fn analyze_cfg(sdfg: &Sdfg, cfg: &ControlFlow, live: &mut BTreeSet<String>, info: &mut CcsInfo) {
+    match cfg {
+        ControlFlow::State(id) => {
+            let state = &sdfg.states[*id];
+            let marked = mark_state(&state.graph, live);
+            // Arrays read by marked nodes now also contribute.
+            for array in arrays_read_by(&state.graph, &marked) {
+                live.insert(array);
+            }
+            let entry = info.per_state.entry(*id).or_default();
+            entry.extend(marked);
+        }
+        ControlFlow::Sequence(children) => {
+            // Reverse execution order: the last state is analysed first.
+            for c in children.iter().rev() {
+                analyze_cfg(sdfg, c, live, info);
+            }
+        }
+        ControlFlow::Loop(l) => {
+            // Fixed point over the loop body: the contributing set can only
+            // grow, so at most |arrays| + 1 iterations are needed.
+            let max_iters = sdfg.arrays.len() + 1;
+            for _ in 0..max_iters {
+                let before = live.clone();
+                analyze_cfg(sdfg, &l.body, live, info);
+                info.loop_iterations += 1;
+                if *live == before {
+                    break;
+                }
+            }
+        }
+        ControlFlow::Branch(b) => {
+            // Over-approximate: both arms are analysed with the same incoming
+            // live set and the union is kept (pruned at runtime, Fig. 3).
+            let mut then_live = live.clone();
+            analyze_cfg(sdfg, &b.then_body, &mut then_live, info);
+            let mut else_live = live.clone();
+            if let Some(e) = &b.else_body {
+                analyze_cfg(sdfg, e, &mut else_live, info);
+            }
+            live.extend(then_live);
+            live.extend(else_live);
+            // Arrays referenced by the condition must be preserved for the
+            // backward pass (the condition is stored and replayed).
+            live.extend(b.cond.referenced_arrays());
+        }
+    }
+}
+
+/// Mark the nodes of a state graph that contribute to any of the `live`
+/// arrays: reverse BFS starting from the written access nodes of live arrays.
+fn mark_state(graph: &DataflowGraph, live: &BTreeSet<String>) -> BTreeSet<NodeId> {
+    let mut marked: BTreeSet<NodeId> = BTreeSet::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let DfNode::Access(name) = node {
+            if live.contains(name) && !graph.in_edges(id).is_empty() {
+                // This access node is written in this state: a seed.
+                if marked.insert(id) {
+                    queue.push_back(id);
+                }
+            }
+        }
+        // Map scopes and library nodes that write a live array directly via
+        // their out-edges are seeded through their destination access nodes,
+        // handled above.
+    }
+
+    while let Some(node) = queue.pop_front() {
+        for e in graph.in_edges(node) {
+            if marked.insert(e.src) {
+                queue.push_back(e.src);
+            }
+        }
+    }
+    marked
+}
+
+/// Arrays read by the marked nodes of a graph (their incoming access-node
+/// edges plus everything read inside marked map bodies).
+fn arrays_read_by(graph: &DataflowGraph, marked: &BTreeSet<NodeId>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for e in &graph.edges {
+        if marked.contains(&e.dst) {
+            if let DfNode::Access(name) = &graph.nodes[e.src] {
+                out.insert(name.clone());
+            }
+        }
+    }
+    for &id in marked {
+        if let DfNode::MapScope(m) = &graph.nodes[id] {
+            out.extend(m.body.reads().into_keys());
+        }
+    }
+    out
+}
+
+/// Whether a write memlet fully overwrites the array (covers every element
+/// and is not an accumulation).  Conservative: returns `false` when coverage
+/// cannot be proven symbolically.
+pub fn is_full_overwrite(subset: &Subset, desc: &ArrayDesc, wcr: bool) -> bool {
+    if wcr {
+        return false;
+    }
+    if subset.is_all() {
+        return true;
+    }
+    if subset.0.len() != desc.shape.len() {
+        return false;
+    }
+    subset.0.iter().zip(desc.shape.iter()).all(|(r, dim)| match r {
+        IndexRange::Range { start, end } => {
+            start.simplified().is_const(0) && end.simplified() == dim.simplified()
+        }
+        IndexRange::Index(_) => dim.simplified().is_const(1),
+    })
+}
+
+/// Per-state classification of how each array is accessed, used by the AD
+/// engine for gradient clearing and forwarding decisions.
+#[derive(Clone, Debug, Default)]
+pub struct AccessSummary {
+    /// Arrays read in the state (outside or inside maps).
+    pub reads: BTreeSet<String>,
+    /// Arrays written in the state.
+    pub writes: BTreeSet<String>,
+    /// Arrays that are fully overwritten by at least one write.
+    pub overwrites: BTreeSet<String>,
+}
+
+/// Summarise accesses of a state graph.
+pub fn summarize_accesses(graph: &DataflowGraph, sdfg: &Sdfg) -> AccessSummary {
+    let mut summary = AccessSummary {
+        reads: graph.reads().into_keys().collect(),
+        writes: BTreeSet::new(),
+        overwrites: BTreeSet::new(),
+    };
+    for (array, memlets) in graph.writes() {
+        summary.writes.insert(array.clone());
+        if let Ok(desc) = sdfg.array(&array) {
+            for m in &memlets {
+                if is_full_overwrite(&m.subset, desc, m.wcr.is_some()) {
+                    summary.overwrites.insert(array.clone());
+                }
+            }
+        }
+    }
+    summary
+}
+
+/// Estimated floating-point cost of executing the whole SDFG once under the
+/// given symbol bindings (loops multiply by their trip count).
+pub fn sdfg_flop_estimate(sdfg: &Sdfg, bindings: &HashMap<String, i64>) -> f64 {
+    cfg_flops(sdfg, &sdfg.cfg, bindings)
+}
+
+fn cfg_flops(sdfg: &Sdfg, cfg: &ControlFlow, bindings: &HashMap<String, i64>) -> f64 {
+    match cfg {
+        ControlFlow::State(id) => sdfg.states[*id].graph.flop_estimate(bindings),
+        ControlFlow::Sequence(children) => children
+            .iter()
+            .map(|c| cfg_flops(sdfg, c, bindings))
+            .sum(),
+        ControlFlow::Loop(l) => {
+            let start = l.start.eval(bindings).unwrap_or(0);
+            let end = l.end.eval(bindings).unwrap_or(0);
+            let step = l.step.eval(bindings).unwrap_or(1);
+            let trips = if step > 0 {
+                ((end - start).max(0) + step - 1) / step.max(1)
+            } else if step < 0 {
+                ((start - end).max(0) + (-step) - 1) / (-step)
+            } else {
+                0
+            };
+            let mut inner = bindings.clone();
+            inner.insert(l.var.clone(), start);
+            trips as f64 * cfg_flops(sdfg, &l.body, &inner)
+        }
+        ControlFlow::Branch(b) => {
+            // Pessimistic: the more expensive arm.
+            let t = cfg_flops(sdfg, &b.then_body, bindings);
+            let e = b
+                .else_body
+                .as_ref()
+                .map(|e| cfg_flops(sdfg, e, bindings))
+                .unwrap_or(0.0);
+            t.max(e)
+        }
+    }
+}
+
+/// The trip count of a loop region under symbol bindings (0 if empty).
+pub fn loop_trip_count(
+    start: &SymExpr,
+    end: &SymExpr,
+    step: &SymExpr,
+    bindings: &HashMap<String, i64>,
+) -> i64 {
+    let s = match start.eval(bindings) {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    let e = match end.eval(bindings) {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    let st = match step.eval(bindings) {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    if st > 0 {
+        ((e - s).max(0) + st - 1) / st
+    } else if st < 0 {
+        ((s - e).max(0) + (-st) - 1) / (-st)
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LibraryOp, MapScope};
+    use crate::memlet::Memlet;
+    use crate::scalar_expr::ScalarExpr as E;
+    use crate::sdfg::{BranchRegion, CmpOp, CondExpr, CondOperand, LoopRegion, State};
+    use crate::tasklet::Tasklet;
+
+    /// Build the running example of Fig. 2: two states inside a time-step
+    /// loop; `A = 2*M`, `B = 3*M`, `C = 4*N`, `E += C`, `O += sin(A+B)`.
+    fn fig2_sdfg() -> Sdfg {
+        let mut sdfg = Sdfg::new("fig2");
+        sdfg.add_symbol("S");
+        sdfg.add_symbol("TSTEPS");
+        for name in ["M", "N", "A", "B", "C", "E", "O"] {
+            sdfg.add_array(name, ArrayDesc::input(vec![SymExpr::sym("S")]))
+                .unwrap();
+        }
+
+        // state_1: A = 2*M ; B = 3*M ; C = 4*N  (element-wise maps)
+        let mut s1 = DataflowGraph::new();
+        for (dst, src, k) in [("A", "M", 2.0), ("B", "M", 3.0), ("C", "N", 4.0)] {
+            let mut body = DataflowGraph::new();
+            let r = body.add_access(src);
+            let t = body.add_tasklet(Tasklet::new("scale", "o", E::input("x").mul(E::c(k))));
+            let w = body.add_access(dst);
+            body.add_edge(r, None, t, Some("x"), Memlet::element(src, vec![SymExpr::sym("i")]));
+            body.add_edge(t, Some("o"), w, None, Memlet::element(dst, vec![SymExpr::sym("i")]));
+            let src_node = s1.add_access(src);
+            let map = s1.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("S"))],
+                body,
+                parallel: true,
+            });
+            let dst_node = s1.add_access(dst);
+            s1.add_edge(src_node, None, map, None, Memlet::all(src));
+            s1.add_edge(map, None, dst_node, None, Memlet::all(dst));
+        }
+        let s1_id = sdfg.add_state(State {
+            name: "state_1".into(),
+            graph: s1,
+        });
+
+        // state_2: E += C ; O += sin(A + B)  (element-wise maps with WCR)
+        let mut s2 = DataflowGraph::new();
+        {
+            let mut body = DataflowGraph::new();
+            let c = body.add_access("C");
+            let t = body.add_tasklet(Tasklet::new("acc", "o", E::input("c")));
+            let e = body.add_access("E");
+            body.add_edge(c, None, t, Some("c"), Memlet::element("C", vec![SymExpr::sym("i")]));
+            body.add_edge(
+                t,
+                Some("o"),
+                e,
+                None,
+                Memlet::element("E", vec![SymExpr::sym("i")]).with_wcr_sum(),
+            );
+            let c_out = s2.add_access("C");
+            let map = s2.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("S"))],
+                body,
+                parallel: true,
+            });
+            let e_out = s2.add_access("E");
+            s2.add_edge(c_out, None, map, None, Memlet::all("C"));
+            s2.add_edge(map, None, e_out, None, Memlet::all("E"));
+        }
+        {
+            let mut body = DataflowGraph::new();
+            let a = body.add_access("A");
+            let b = body.add_access("B");
+            let t = body.add_tasklet(Tasklet::new(
+                "sin_add",
+                "o",
+                E::un(crate::scalar_expr::UnOp::Sin, E::input("a").add(E::input("b"))),
+            ));
+            let o = body.add_access("O");
+            body.add_edge(a, None, t, Some("a"), Memlet::element("A", vec![SymExpr::sym("i")]));
+            body.add_edge(b, None, t, Some("b"), Memlet::element("B", vec![SymExpr::sym("i")]));
+            body.add_edge(
+                t,
+                Some("o"),
+                o,
+                None,
+                Memlet::element("O", vec![SymExpr::sym("i")]).with_wcr_sum(),
+            );
+            let a_out = s2.add_access("A");
+            let b_out = s2.add_access("B");
+            let map = s2.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("S"))],
+                body,
+                parallel: true,
+            });
+            let o_out = s2.add_access("O");
+            s2.add_edge(a_out, None, map, None, Memlet::all("A"));
+            s2.add_edge(b_out, None, map, None, Memlet::all("B"));
+            s2.add_edge(map, None, o_out, None, Memlet::all("O"));
+        }
+        let s2_id = sdfg.add_state(State {
+            name: "state_2".into(),
+            graph: s2,
+        });
+
+        sdfg.cfg = ControlFlow::Loop(LoopRegion {
+            var: "t".into(),
+            start: SymExpr::int(0),
+            end: SymExpr::sym("TSTEPS"),
+            step: SymExpr::int(1),
+            body: Box::new(ControlFlow::Sequence(vec![
+                ControlFlow::State(s1_id),
+                ControlFlow::State(s2_id),
+            ])),
+        });
+        sdfg.validate().unwrap();
+        sdfg
+    }
+
+    #[test]
+    fn ccs_tracks_contributions_to_output() {
+        let sdfg = fig2_sdfg();
+        let ccs = compute_ccs(&sdfg, "O");
+        // O depends on A and B, which depend on M.  C, E, N do not contribute.
+        assert!(ccs.contributing_arrays.contains("O"));
+        assert!(ccs.contributing_arrays.contains("A"));
+        assert!(ccs.contributing_arrays.contains("B"));
+        assert!(ccs.contributing_arrays.contains("M"));
+        assert!(!ccs.contributing_arrays.contains("C"));
+        assert!(!ccs.contributing_arrays.contains("E"));
+        assert!(!ccs.contributing_arrays.contains("N"));
+    }
+
+    #[test]
+    fn ccs_marks_only_contributing_nodes() {
+        let sdfg = fig2_sdfg();
+        let ccs = compute_ccs(&sdfg, "O");
+        // state_1 has three map chains (A, B, C); only the A and B chains are
+        // in the CCS: 3 nodes each (access src, map, access dst) = 6 nodes.
+        let s1_nodes = ccs.nodes_of(0);
+        assert_eq!(s1_nodes.len(), 6, "CCS of state_1: {s1_nodes:?}");
+        // state_2: only the O chain (4 nodes: A access, B access, map, O access).
+        let s2_nodes = ccs.nodes_of(1);
+        assert_eq!(s2_nodes.len(), 4, "CCS of state_2: {s2_nodes:?}");
+    }
+
+    #[test]
+    fn ccs_with_output_e_tracks_c_and_n() {
+        let sdfg = fig2_sdfg();
+        let ccs = compute_ccs(&sdfg, "E");
+        assert!(ccs.contributing_arrays.contains("C"));
+        assert!(ccs.contributing_arrays.contains("N"));
+        assert!(!ccs.contributing_arrays.contains("A"));
+        assert!(!ccs.contributing_arrays.contains("M"));
+    }
+
+    #[test]
+    fn loop_fixed_point_terminates() {
+        let sdfg = fig2_sdfg();
+        let ccs = compute_ccs(&sdfg, "O");
+        // The live set stabilises after at most two body passes plus the
+        // confirming pass.
+        assert!(ccs.loop_iterations <= sdfg.arrays.len() + 1);
+        assert!(ccs.loop_iterations >= 2);
+    }
+
+    #[test]
+    fn branch_over_approximates_and_tracks_condition() {
+        let mut sdfg = Sdfg::new("branchy");
+        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+        sdfg.add_array("O", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+        sdfg.add_array("P", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+
+        // then: O = X * 2 ; else: O = Y * 3
+        let build = |src: &str| {
+            let mut g = DataflowGraph::new();
+            let mut body = DataflowGraph::new();
+            let r = body.add_access(src);
+            let t = body.add_tasklet(Tasklet::new("s", "o", E::input("x").mul(E::c(2.0))));
+            let w = body.add_access("O");
+            body.add_edge(r, None, t, Some("x"), Memlet::element(src, vec![SymExpr::sym("i")]));
+            body.add_edge(t, Some("o"), w, None, Memlet::element("O", vec![SymExpr::sym("i")]));
+            let rn = g.add_access(src);
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::int(4))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("O");
+            g.add_edge(rn, None, m, None, Memlet::all(src));
+            g.add_edge(m, None, wn, None, Memlet::all("O"));
+            g
+        };
+        let then_id = sdfg.add_state(State { name: "then".into(), graph: build("X") });
+        let else_id = sdfg.add_state(State { name: "else".into(), graph: build("Y") });
+        sdfg.cfg = ControlFlow::Branch(BranchRegion {
+            cond: CondExpr::Cmp {
+                lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                op: CmpOp::Gt,
+                rhs: CondOperand::Const(0.0),
+            },
+            then_body: Box::new(ControlFlow::State(then_id)),
+            else_body: Some(Box::new(ControlFlow::State(else_id))),
+        });
+        let ccs = compute_ccs(&sdfg, "O");
+        assert!(ccs.contributing_arrays.contains("X"));
+        assert!(ccs.contributing_arrays.contains("Y"));
+        // The branch condition array must be preserved.
+        assert!(ccs.contributing_arrays.contains("P"));
+        assert!(ccs.state_active(then_id));
+        assert!(ccs.state_active(else_id));
+    }
+
+    #[test]
+    fn full_overwrite_detection() {
+        let desc = ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")]);
+        assert!(is_full_overwrite(&Subset::all(), &desc, false));
+        assert!(!is_full_overwrite(&Subset::all(), &desc, true));
+        let full = Subset(vec![
+            IndexRange::range(SymExpr::int(0), SymExpr::sym("N")),
+            IndexRange::range(SymExpr::int(0), SymExpr::sym("N")),
+        ]);
+        assert!(is_full_overwrite(&full, &desc, false));
+        let partial = Subset(vec![
+            IndexRange::range(SymExpr::int(0), SymExpr::sym("N")),
+            IndexRange::idx(SymExpr::int(3)),
+        ]);
+        assert!(!is_full_overwrite(&partial, &desc, false));
+        let scalar_desc = ArrayDesc::input(vec![SymExpr::int(1)]);
+        assert!(is_full_overwrite(
+            &Subset::indices(vec![SymExpr::int(0)]),
+            &scalar_desc,
+            false
+        ));
+    }
+
+    #[test]
+    fn access_summary_classifies() {
+        let sdfg = fig2_sdfg();
+        let summary = summarize_accesses(&sdfg.states[0].graph, &sdfg);
+        assert!(summary.reads.contains("M"));
+        assert!(summary.writes.contains("A"));
+        assert!(summary.overwrites.is_empty() || summary.overwrites.contains("A"));
+        let s2 = summarize_accesses(&sdfg.states[1].graph, &sdfg);
+        assert!(s2.reads.contains("A") && s2.reads.contains("C"));
+        assert!(s2.writes.contains("O") && s2.writes.contains("E"));
+    }
+
+    #[test]
+    fn flop_estimate_counts_loop_trips() {
+        let sdfg = fig2_sdfg();
+        let mut bind = HashMap::new();
+        bind.insert("S".to_string(), 10);
+        bind.insert("TSTEPS".to_string(), 3);
+        let flops = sdfg_flop_estimate(&sdfg, &bind);
+        // state_1: 3 maps x 10 elements x 1 op = 30; state_2: E map 10*0 + O map 10*2 = 20
+        // total per iteration = 50, times 3 iterations = 150.
+        assert_eq!(flops, 150.0);
+    }
+
+    #[test]
+    fn trip_count_handles_negative_steps() {
+        let bind = HashMap::new();
+        assert_eq!(
+            loop_trip_count(&SymExpr::int(0), &SymExpr::int(10), &SymExpr::int(1), &bind),
+            10
+        );
+        assert_eq!(
+            loop_trip_count(&SymExpr::int(9), &SymExpr::int(-1), &SymExpr::int(-1), &bind),
+            10
+        );
+        assert_eq!(
+            loop_trip_count(&SymExpr::int(0), &SymExpr::int(10), &SymExpr::int(3), &bind),
+            4
+        );
+        assert_eq!(
+            loop_trip_count(&SymExpr::int(0), &SymExpr::int(0), &SymExpr::int(1), &bind),
+            0
+        );
+    }
+
+    #[test]
+    fn library_node_in_ccs() {
+        let mut sdfg = Sdfg::new("mm");
+        sdfg.add_symbol("N");
+        for n in ["A", "B", "C"] {
+            sdfg.add_array(n, ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")]))
+                .unwrap();
+        }
+        let mut g = DataflowGraph::new();
+        let a = g.add_access("A");
+        let b = g.add_access("B");
+        let mm = g.add_library(LibraryOp::MatMul);
+        let c = g.add_access("C");
+        g.add_edge(a, None, mm, Some("A"), Memlet::all("A"));
+        g.add_edge(b, None, mm, Some("B"), Memlet::all("B"));
+        g.add_edge(mm, Some("C"), c, None, Memlet::all("C"));
+        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        sdfg.cfg = ControlFlow::State(sid);
+        let ccs = compute_ccs(&sdfg, "C");
+        assert_eq!(ccs.nodes_of(sid).len(), 4);
+        assert!(ccs.contributing_arrays.contains("A"));
+        assert!(ccs.contributing_arrays.contains("B"));
+    }
+}

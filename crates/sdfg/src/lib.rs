@@ -1,0 +1,43 @@
+//! # dace-sdfg
+//!
+//! The Stateful DataFlow multiGraph (SDFG) intermediate representation, the
+//! symbolic expression machinery, and the dataflow analyses used by the
+//! DaCe AD reproduction.
+//!
+//! The IR mirrors the components described in Section I of the paper:
+//!
+//! * **Access nodes** ([`graph::DfNode::Access`]) expose data containers;
+//!   incoming edges are writes, outgoing edges are reads.
+//! * **Memlets** ([`memlet::Memlet`]) describe the moved data subset and the
+//!   write-conflict resolution.
+//! * **Tasklets** ([`tasklet::Tasklet`]) are fine-grained scalar computations
+//!   written in the [`scalar_expr::ScalarExpr`] language, which supports the
+//!   symbolic differentiation DaCe AD relies on.
+//! * **Maps** ([`graph::MapScope`]) are parallel regions over an index set.
+//! * **Library nodes** ([`graph::LibraryOp`]) expand to optimized kernels.
+//! * **States** ([`sdfg::State`]) group dataflow, and the structured
+//!   [`sdfg::ControlFlow`] tree provides sequences, sequential loop regions
+//!   and branches.
+//!
+//! The [`analysis`] module implements the critical computation subgraph
+//! (CCS) extraction of Section II plus the access summaries and cost
+//! estimates used by the AD engine and the ILP checkpointing model.
+
+pub mod analysis;
+pub mod graph;
+pub mod memlet;
+pub mod scalar_expr;
+pub mod sdfg;
+pub mod symexpr;
+pub mod tasklet;
+
+pub use analysis::{compute_ccs, is_full_overwrite, summarize_accesses, AccessSummary, CcsInfo};
+pub use graph::{DataflowGraph, DfNode, Edge, LibraryOp, MapScope, NodeId};
+pub use memlet::{IndexRange, Memlet, Subset, Wcr};
+pub use scalar_expr::{BinOp, ScalarExpr, UnOp};
+pub use sdfg::{
+    ArrayDesc, BranchRegion, CmpOp, CondExpr, CondOperand, ControlFlow, DType, LoopRegion, Sdfg,
+    SdfgError, State,
+};
+pub use symexpr::{SymError, SymExpr};
+pub use tasklet::Tasklet;

@@ -1,0 +1,624 @@
+//! Scalar expression language for tasklet code, with symbolic differentiation.
+//!
+//! DaCe AD performs *symbolic* automatic differentiation: each fine-grained
+//! tasklet computation is differentiated symbolically and the results are
+//! combined through the chain rule across the dataflow graph.  This module
+//! provides the expression AST used inside tasklets, its evaluator, and the
+//! symbolic derivative used by the AD engine in `dace-ad`.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary scalar operators available in tasklet code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Max,
+    Min,
+}
+
+/// Unary scalar operators available in tasklet code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Sqrt,
+    Tanh,
+    Abs,
+    Relu,
+    Sigmoid,
+}
+
+/// A scalar expression appearing in tasklet code.
+///
+/// Inputs refer to tasklet input connectors; `Iter` refers to an integer
+/// iteration symbol (map parameter, loop iterator or SDFG symbol) promoted to
+/// a float value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarExpr {
+    /// Floating-point constant.
+    Const(f64),
+    /// Value read from an input connector.
+    Input(String),
+    /// Integer symbol (iterator / SDFG symbol) promoted to `f64`.
+    Iter(String),
+    /// Unary operation.
+    Un(UnOp, Box<ScalarExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Constant expression.
+    pub fn c(v: f64) -> Self {
+        ScalarExpr::Const(v)
+    }
+
+    /// Input-connector reference.
+    pub fn input(name: impl Into<String>) -> Self {
+        ScalarExpr::Input(name.into())
+    }
+
+    /// Iterator/symbol reference.
+    pub fn iter(name: impl Into<String>) -> Self {
+        ScalarExpr::Iter(name.into())
+    }
+
+    /// Helper: binary op.
+    pub fn bin(op: BinOp, a: ScalarExpr, b: ScalarExpr) -> Self {
+        ScalarExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Helper: unary op.
+    pub fn un(op: UnOp, a: ScalarExpr) -> Self {
+        ScalarExpr::Un(op, Box::new(a))
+    }
+
+    /// `self + other`
+    pub fn add(self, other: ScalarExpr) -> Self {
+        Self::bin(BinOp::Add, self, other)
+    }
+
+    /// `self - other`
+    pub fn sub(self, other: ScalarExpr) -> Self {
+        Self::bin(BinOp::Sub, self, other)
+    }
+
+    /// `self * other`
+    pub fn mul(self, other: ScalarExpr) -> Self {
+        Self::bin(BinOp::Mul, self, other)
+    }
+
+    /// `self / other`
+    pub fn div(self, other: ScalarExpr) -> Self {
+        Self::bin(BinOp::Div, self, other)
+    }
+
+    /// Evaluate the expression.
+    ///
+    /// `inputs` maps connector names to scalar values; `iters` maps iteration
+    /// symbols to integers.
+    pub fn eval(
+        &self,
+        inputs: &HashMap<String, f64>,
+        iters: &HashMap<String, i64>,
+    ) -> Result<f64, String> {
+        match self {
+            ScalarExpr::Const(v) => Ok(*v),
+            ScalarExpr::Input(name) => inputs
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("missing tasklet input `{name}`")),
+            ScalarExpr::Iter(name) => iters
+                .get(name)
+                .map(|&v| v as f64)
+                .ok_or_else(|| format!("missing iteration symbol `{name}`")),
+            ScalarExpr::Un(op, a) => {
+                let x = a.eval(inputs, iters)?;
+                Ok(match op {
+                    UnOp::Neg => -x,
+                    UnOp::Sin => x.sin(),
+                    UnOp::Cos => x.cos(),
+                    UnOp::Exp => x.exp(),
+                    UnOp::Log => x.ln(),
+                    UnOp::Sqrt => x.sqrt(),
+                    UnOp::Tanh => x.tanh(),
+                    UnOp::Abs => x.abs(),
+                    UnOp::Relu => x.max(0.0),
+                    UnOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                })
+            }
+            ScalarExpr::Bin(op, a, b) => {
+                let x = a.eval(inputs, iters)?;
+                let y = b.eval(inputs, iters)?;
+                Ok(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Min => x.min(y),
+                })
+            }
+        }
+    }
+
+    /// Collect the names of all input connectors referenced.
+    pub fn inputs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Iter(_) => {}
+            ScalarExpr::Input(name) => {
+                out.insert(name.clone());
+            }
+            ScalarExpr::Un(_, a) => a.collect_inputs(out),
+            ScalarExpr::Bin(_, a, b) => {
+                a.collect_inputs(out);
+                b.collect_inputs(out);
+            }
+        }
+    }
+
+    /// True when the expression is linear in `input` (its derivative does not
+    /// reference the input's value).  Used by the AD engine to decide whether
+    /// the forward value must be *forwarded* (stored or recomputed) to the
+    /// backward pass: non-linear uses are exactly the cases of Fig. 8.
+    pub fn is_linear_in(&self, input: &str) -> bool {
+        !self
+            .derivative(input)
+            .simplified()
+            .inputs()
+            .contains(input)
+    }
+
+    /// Symbolic derivative with respect to the named input connector.
+    pub fn derivative(&self, wrt: &str) -> ScalarExpr {
+        use ScalarExpr::*;
+        match self {
+            Const(_) | Iter(_) => Const(0.0),
+            Input(name) => {
+                if name == wrt {
+                    Const(1.0)
+                } else {
+                    Const(0.0)
+                }
+            }
+            Un(op, a) => {
+                let da = a.derivative(wrt);
+                let inner = (**a).clone();
+                let local = match op {
+                    UnOp::Neg => Const(-1.0),
+                    UnOp::Sin => Self::un(UnOp::Cos, inner),
+                    UnOp::Cos => Self::un(UnOp::Neg, Self::un(UnOp::Sin, inner)),
+                    UnOp::Exp => Self::un(UnOp::Exp, inner),
+                    UnOp::Log => Self::bin(BinOp::Div, Const(1.0), inner),
+                    UnOp::Sqrt => Self::bin(
+                        BinOp::Div,
+                        Const(0.5),
+                        Self::un(UnOp::Sqrt, inner),
+                    ),
+                    UnOp::Tanh => Self::bin(
+                        BinOp::Sub,
+                        Const(1.0),
+                        Self::bin(
+                            BinOp::Mul,
+                            Self::un(UnOp::Tanh, inner.clone()),
+                            Self::un(UnOp::Tanh, inner),
+                        ),
+                    ),
+                    // Sub-gradient conventions: d|x|/dx = sign(x) via x/|x|,
+                    // relu' = step(x) expressed as (sign(x)+1)/2 clamped by max.
+                    UnOp::Abs => Self::bin(BinOp::Div, inner.clone(), Self::un(UnOp::Abs, inner)),
+                    UnOp::Relu => Self::bin(
+                        BinOp::Div,
+                        Self::un(UnOp::Relu, inner.clone()),
+                        Self::bin(
+                            BinOp::Max,
+                            Self::un(UnOp::Abs, inner),
+                            Const(f64::MIN_POSITIVE),
+                        ),
+                    ),
+                    UnOp::Sigmoid => {
+                        let s = Self::un(UnOp::Sigmoid, inner);
+                        Self::bin(
+                            BinOp::Mul,
+                            s.clone(),
+                            Self::bin(BinOp::Sub, Const(1.0), s),
+                        )
+                    }
+                };
+                Self::bin(BinOp::Mul, local, da).simplified()
+            }
+            Bin(op, a, b) => {
+                let da = a.derivative(wrt);
+                let db = b.derivative(wrt);
+                let (a, b) = ((**a).clone(), (**b).clone());
+                let d = match op {
+                    BinOp::Add => Self::bin(BinOp::Add, da, db),
+                    BinOp::Sub => Self::bin(BinOp::Sub, da, db),
+                    BinOp::Mul => Self::bin(
+                        BinOp::Add,
+                        Self::bin(BinOp::Mul, da, b.clone()),
+                        Self::bin(BinOp::Mul, a.clone(), db),
+                    ),
+                    BinOp::Div => Self::bin(
+                        BinOp::Div,
+                        Self::bin(
+                            BinOp::Sub,
+                            Self::bin(BinOp::Mul, da, b.clone()),
+                            Self::bin(BinOp::Mul, a.clone(), db),
+                        ),
+                        Self::bin(BinOp::Mul, b.clone(), b.clone()),
+                    ),
+                    // d(a^b) = a^b * (db*ln(a) + b*da/a); only the constant-exponent
+                    // case matters for the kernels here, but the full rule is kept.
+                    BinOp::Pow => Self::bin(
+                        BinOp::Mul,
+                        Self::bin(BinOp::Pow, a.clone(), b.clone()),
+                        Self::bin(
+                            BinOp::Add,
+                            Self::bin(BinOp::Mul, db, Self::un(UnOp::Log, a.clone())),
+                            Self::bin(
+                                BinOp::Div,
+                                Self::bin(BinOp::Mul, b.clone(), da),
+                                a.clone(),
+                            ),
+                        ),
+                    ),
+                    // Sub-gradients: route the gradient to whichever operand wins.
+                    BinOp::Max => Self::bin(
+                        BinOp::Add,
+                        Self::bin(BinOp::Mul, step_ge(&a, &b), da),
+                        Self::bin(BinOp::Mul, step_ge(&b, &a), db),
+                    ),
+                    BinOp::Min => Self::bin(
+                        BinOp::Add,
+                        Self::bin(BinOp::Mul, step_ge(&b, &a), da),
+                        Self::bin(BinOp::Mul, step_ge(&a, &b), db),
+                    ),
+                };
+                d.simplified()
+            }
+        }
+    }
+
+    /// Constant folding plus `x*0`, `x*1`, `x+0` simplification.
+    pub fn simplified(&self) -> ScalarExpr {
+        use ScalarExpr::*;
+        match self {
+            Const(_) | Input(_) | Iter(_) => self.clone(),
+            Un(op, a) => {
+                let a = a.simplified();
+                if let Const(v) = a {
+                    let iters = HashMap::new();
+                    let inputs = HashMap::new();
+                    if let Ok(out) = Un(*op, Box::new(Const(v))).eval(&inputs, &iters) {
+                        return Const(out);
+                    }
+                }
+                Un(*op, Box::new(a))
+            }
+            Bin(op, a, b) => {
+                let a = a.simplified();
+                let b = b.simplified();
+                match (op, &a, &b) {
+                    (_, Const(x), Const(y)) => {
+                        let iters = HashMap::new();
+                        let inputs = HashMap::new();
+                        Bin(*op, Box::new(Const(*x)), Box::new(Const(*y)))
+                            .eval(&inputs, &iters)
+                            .map(Const)
+                            .unwrap_or_else(|_| Bin(*op, Box::new(a.clone()), Box::new(b.clone())))
+                    }
+                    (BinOp::Add, Const(z), _) if *z == 0.0 => b,
+                    (BinOp::Add, _, Const(z)) if *z == 0.0 => a,
+                    (BinOp::Sub, _, Const(z)) if *z == 0.0 => a,
+                    (BinOp::Mul, Const(z), _) | (BinOp::Mul, _, Const(z)) if *z == 0.0 => {
+                        Const(0.0)
+                    }
+                    (BinOp::Mul, Const(o), _) if *o == 1.0 => b,
+                    (BinOp::Mul, _, Const(o)) if *o == 1.0 => a,
+                    (BinOp::Div, _, Const(o)) if *o == 1.0 => a,
+                    _ => Bin(*op, Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// Number of arithmetic operations in the expression (FLOP estimate for a
+    /// single evaluation) — feeds the recomputation cost model of the ILP.
+    pub fn op_count(&self) -> usize {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input(_) | ScalarExpr::Iter(_) => 0,
+            ScalarExpr::Un(_, a) => 1 + a.op_count(),
+            ScalarExpr::Bin(_, a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+
+    /// Rename every input-connector reference using the provided map.
+    pub fn rename_inputs(&self, renames: &HashMap<String, String>) -> ScalarExpr {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Iter(_) => self.clone(),
+            ScalarExpr::Input(name) => ScalarExpr::Input(
+                renames.get(name).cloned().unwrap_or_else(|| name.clone()),
+            ),
+            ScalarExpr::Un(op, a) => ScalarExpr::Un(*op, Box::new(a.rename_inputs(renames))),
+            ScalarExpr::Bin(op, a, b) => ScalarExpr::Bin(
+                *op,
+                Box::new(a.rename_inputs(renames)),
+                Box::new(b.rename_inputs(renames)),
+            ),
+        }
+    }
+}
+
+/// Expression evaluating to 1.0 when `a > b`, 0.0 when `a < b` and 0.5 at a
+/// tie, built from the available primitives (used for max/min sub-gradients —
+/// the 0.5 tie split matches `jnp.maximum`'s convention).
+fn step_ge(a: &ScalarExpr, b: &ScalarExpr) -> ScalarExpr {
+    use ScalarExpr::*;
+    // (sign(a-b) + 1) / 2 with sign(x) = x / max(|x|, tiny)
+    let diff = ScalarExpr::bin(BinOp::Sub, a.clone(), b.clone());
+    let sign = ScalarExpr::bin(
+        BinOp::Div,
+        diff.clone(),
+        ScalarExpr::bin(
+            BinOp::Max,
+            ScalarExpr::un(UnOp::Abs, diff),
+            Const(f64::MIN_POSITIVE),
+        ),
+    );
+    ScalarExpr::bin(
+        BinOp::Mul,
+        ScalarExpr::bin(BinOp::Add, sign, Const(1.0)),
+        Const(0.5),
+    )
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Const(v) => write!(f, "{v}"),
+            ScalarExpr::Input(s) => write!(f, "{s}"),
+            ScalarExpr::Iter(s) => write!(f, "${s}"),
+            ScalarExpr::Un(op, a) => write!(f, "{op:?}({a})"),
+            ScalarExpr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Pow => "**",
+                    BinOp::Max => "max",
+                    BinOp::Min => "min",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn fd(expr: &ScalarExpr, wrt: &str, at: &HashMap<String, f64>) -> f64 {
+        let h = 1e-6;
+        let mut plus = at.clone();
+        let mut minus = at.clone();
+        *plus.get_mut(wrt).unwrap() += h;
+        *minus.get_mut(wrt).unwrap() -= h;
+        let iters = HashMap::new();
+        (expr.eval(&plus, &iters).unwrap() - expr.eval(&minus, &iters).unwrap()) / (2.0 * h)
+    }
+
+    #[test]
+    fn eval_basic() {
+        let e = ScalarExpr::input("x").mul(ScalarExpr::c(2.0)).add(ScalarExpr::c(1.0));
+        let v = e.eval(&inputs(&[("x", 3.0)]), &HashMap::new()).unwrap();
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn eval_missing_input_errors() {
+        let e = ScalarExpr::input("x");
+        assert!(e.eval(&HashMap::new(), &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn eval_iteration_symbol() {
+        let e = ScalarExpr::iter("i").mul(ScalarExpr::input("x"));
+        let mut iters = HashMap::new();
+        iters.insert("i".to_string(), 4);
+        assert_eq!(e.eval(&inputs(&[("x", 2.5)]), &iters).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn derivative_of_linear_expr() {
+        let e = ScalarExpr::input("x").mul(ScalarExpr::c(3.0));
+        let d = e.derivative("x").simplified();
+        assert_eq!(
+            d.eval(&inputs(&[("x", 100.0)]), &HashMap::new()).unwrap(),
+            3.0
+        );
+        assert!(e.is_linear_in("x"));
+    }
+
+    #[test]
+    fn derivative_of_nonlinear_exprs_matches_fd() {
+        let cases = vec![
+            ScalarExpr::un(UnOp::Sin, ScalarExpr::input("x")),
+            ScalarExpr::un(UnOp::Exp, ScalarExpr::input("x").mul(ScalarExpr::c(0.5))),
+            ScalarExpr::un(UnOp::Tanh, ScalarExpr::input("x")),
+            ScalarExpr::un(UnOp::Sigmoid, ScalarExpr::input("x")),
+            ScalarExpr::bin(
+                BinOp::Pow,
+                ScalarExpr::input("x"),
+                ScalarExpr::c(3.0),
+            ),
+            ScalarExpr::input("x")
+                .mul(ScalarExpr::input("y"))
+                .add(ScalarExpr::un(UnOp::Log, ScalarExpr::input("x"))),
+            ScalarExpr::input("x").div(ScalarExpr::input("y")),
+        ];
+        let at = inputs(&[("x", 0.8), ("y", 1.7)]);
+        for e in cases {
+            for wrt in ["x", "y"] {
+                if !e.inputs().contains(wrt) {
+                    continue;
+                }
+                let sym = e
+                    .derivative(wrt)
+                    .eval(&at, &HashMap::new())
+                    .unwrap();
+                let num = fd(&e, wrt, &at);
+                assert!(
+                    (sym - num).abs() < 1e-5,
+                    "derivative mismatch for {e} wrt {wrt}: sym={sym} fd={num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinearity_detection() {
+        let sq = ScalarExpr::bin(
+            BinOp::Mul,
+            ScalarExpr::input("y"),
+            ScalarExpr::input("y"),
+        );
+        assert!(!sq.is_linear_in("y"));
+        let lin = ScalarExpr::input("y").mul(ScalarExpr::c(2.0));
+        assert!(lin.is_linear_in("y"));
+        let sin = ScalarExpr::un(UnOp::Sin, ScalarExpr::input("a"));
+        assert!(!sin.is_linear_in("a"));
+    }
+
+    #[test]
+    fn max_subgradient_routes_to_winner() {
+        let e = ScalarExpr::bin(
+            BinOp::Max,
+            ScalarExpr::input("x"),
+            ScalarExpr::input("y"),
+        );
+        let at = inputs(&[("x", 2.0), ("y", 1.0)]);
+        let dx = e.derivative("x").eval(&at, &HashMap::new()).unwrap();
+        let dy = e.derivative("y").eval(&at, &HashMap::new()).unwrap();
+        assert!((dx - 1.0).abs() < 1e-9);
+        assert!(dy.abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplification_drops_zero_terms() {
+        let e = ScalarExpr::input("x")
+            .mul(ScalarExpr::c(0.0))
+            .add(ScalarExpr::input("y"));
+        assert_eq!(e.simplified(), ScalarExpr::input("y"));
+    }
+
+    #[test]
+    fn op_count_counts_arithmetic() {
+        let e = ScalarExpr::input("x")
+            .mul(ScalarExpr::input("y"))
+            .add(ScalarExpr::c(1.0));
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn rename_inputs_applies_map() {
+        let e = ScalarExpr::input("a").mul(ScalarExpr::input("b"));
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), "stored_a".to_string());
+        let r = e.rename_inputs(&m);
+        let ins = r.inputs();
+        assert!(ins.contains("stored_a") && ins.contains("b"));
+    }
+
+    #[test]
+    fn inputs_collects_unique_names() {
+        let e = ScalarExpr::input("x").mul(ScalarExpr::input("x"));
+        assert_eq!(e.inputs().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_expr() -> impl Strategy<Value = ScalarExpr> {
+        let leaf = prop_oneof![
+            (0.1f64..3.0).prop_map(ScalarExpr::Const),
+            Just(ScalarExpr::input("x")),
+            Just(ScalarExpr::input("y")),
+        ];
+        leaf.prop_recursive(3, 32, 4, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Add, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Sub, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Mul, a, b)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Sin, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Exp, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Tanh, a)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// The symbolic derivative of any composed expression matches central
+        /// finite differences at a benign evaluation point.
+        #[test]
+        fn symbolic_derivative_matches_fd(e in arb_expr(), x in 0.2f64..1.5, y in 0.2f64..1.5) {
+            let mut at = HashMap::new();
+            at.insert("x".to_string(), x);
+            at.insert("y".to_string(), y);
+            let iters = HashMap::new();
+            let value = e.eval(&at, &iters).unwrap();
+            prop_assume!(value.is_finite() && value.abs() < 1e6);
+            for wrt in ["x", "y"] {
+                if !e.inputs().contains(wrt) { continue; }
+                let sym = e.derivative(wrt).eval(&at, &iters).unwrap();
+                let h = 1e-5;
+                let mut p = at.clone();
+                let mut m = at.clone();
+                *p.get_mut(wrt).unwrap() += h;
+                *m.get_mut(wrt).unwrap() -= h;
+                let fd = (e.eval(&p, &iters).unwrap() - e.eval(&m, &iters).unwrap()) / (2.0 * h);
+                prop_assume!(fd.is_finite() && fd.abs() < 1e6);
+                prop_assert!((sym - fd).abs() <= 1e-3 * (1.0 + fd.abs()),
+                    "expr {} wrt {}: sym {} vs fd {}", e, wrt, sym, fd);
+            }
+        }
+
+        /// Simplification never changes the value.
+        #[test]
+        fn simplify_preserves_value(e in arb_expr(), x in 0.2f64..1.5, y in 0.2f64..1.5) {
+            let mut at = HashMap::new();
+            at.insert("x".to_string(), x);
+            at.insert("y".to_string(), y);
+            let iters = HashMap::new();
+            let a = e.eval(&at, &iters).unwrap();
+            let b = e.simplified().eval(&at, &iters).unwrap();
+            prop_assume!(a.is_finite());
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+        }
+    }
+}

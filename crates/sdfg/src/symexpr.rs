@@ -1,0 +1,455 @@
+//! Integer symbolic expressions.
+//!
+//! `SymExpr` is used wherever DaCe uses sympy expressions: array shapes,
+//! loop bounds, memlet subscripts and data-movement volumes.  Expressions are
+//! built from integer literals, named symbols (SDFG symbols, loop iterators,
+//! map parameters) and arithmetic, and can be evaluated against a symbol
+//! binding or partially simplified.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// An integer symbolic expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SymExpr {
+    /// Integer constant.
+    Int(i64),
+    /// Named symbol (SDFG symbol, loop iterator or map parameter).
+    Sym(String),
+    /// Sum.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Difference.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// Product.
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Floor division (division by zero evaluates to an error).
+    Div(Box<SymExpr>, Box<SymExpr>),
+    /// Remainder.
+    Rem(Box<SymExpr>, Box<SymExpr>),
+    /// Minimum.
+    Min(Box<SymExpr>, Box<SymExpr>),
+    /// Maximum.
+    Max(Box<SymExpr>, Box<SymExpr>),
+    /// Negation.
+    Neg(Box<SymExpr>),
+}
+
+/// Error produced when evaluating a symbolic expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymError {
+    /// A symbol had no binding.
+    UnboundSymbol(String),
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymError::UnboundSymbol(s) => write!(f, "unbound symbol `{s}`"),
+            SymError::DivisionByZero => write!(f, "division by zero in symbolic expression"),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+impl SymExpr {
+    /// Shorthand constructor for a symbol.
+    pub fn sym(name: impl Into<String>) -> Self {
+        SymExpr::Sym(name.into())
+    }
+
+    /// Shorthand constructor for an integer.
+    pub fn int(v: i64) -> Self {
+        SymExpr::Int(v)
+    }
+
+    /// `self + other`
+    pub fn add(&self, other: &SymExpr) -> SymExpr {
+        SymExpr::Add(Box::new(self.clone()), Box::new(other.clone())).simplified()
+    }
+
+    /// `self - other`
+    pub fn sub(&self, other: &SymExpr) -> SymExpr {
+        SymExpr::Sub(Box::new(self.clone()), Box::new(other.clone())).simplified()
+    }
+
+    /// `self * other`
+    pub fn mul(&self, other: &SymExpr) -> SymExpr {
+        SymExpr::Mul(Box::new(self.clone()), Box::new(other.clone())).simplified()
+    }
+
+    /// `self + constant`
+    pub fn add_int(&self, v: i64) -> SymExpr {
+        self.add(&SymExpr::Int(v))
+    }
+
+    /// `self * constant`
+    pub fn mul_int(&self, v: i64) -> SymExpr {
+        self.mul(&SymExpr::Int(v))
+    }
+
+    /// Evaluate against a symbol binding.
+    pub fn eval(&self, bindings: &HashMap<String, i64>) -> Result<i64, SymError> {
+        match self {
+            SymExpr::Int(v) => Ok(*v),
+            SymExpr::Sym(s) => bindings
+                .get(s)
+                .copied()
+                .ok_or_else(|| SymError::UnboundSymbol(s.clone())),
+            SymExpr::Add(a, b) => Ok(a.eval(bindings)? + b.eval(bindings)?),
+            SymExpr::Sub(a, b) => Ok(a.eval(bindings)? - b.eval(bindings)?),
+            SymExpr::Mul(a, b) => Ok(a.eval(bindings)? * b.eval(bindings)?),
+            SymExpr::Div(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0 {
+                    Err(SymError::DivisionByZero)
+                } else {
+                    Ok(a.eval(bindings)?.div_euclid(d))
+                }
+            }
+            SymExpr::Rem(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0 {
+                    Err(SymError::DivisionByZero)
+                } else {
+                    Ok(a.eval(bindings)?.rem_euclid(d))
+                }
+            }
+            SymExpr::Min(a, b) => Ok(a.eval(bindings)?.min(b.eval(bindings)?)),
+            SymExpr::Max(a, b) => Ok(a.eval(bindings)?.max(b.eval(bindings)?)),
+            SymExpr::Neg(a) => Ok(-a.eval(bindings)?),
+        }
+    }
+
+    /// Evaluate an expression with no free symbols.
+    pub fn eval_const(&self) -> Result<i64, SymError> {
+        self.eval(&HashMap::new())
+    }
+
+    /// The set of free symbols appearing in the expression.
+    pub fn free_symbols(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<String>) {
+        match self {
+            SymExpr::Int(_) => {}
+            SymExpr::Sym(s) => {
+                out.insert(s.clone());
+            }
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Div(a, b)
+            | SymExpr::Rem(a, b)
+            | SymExpr::Min(a, b)
+            | SymExpr::Max(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            SymExpr::Neg(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// True if the expression references the given symbol.
+    pub fn references(&self, name: &str) -> bool {
+        self.free_symbols().contains(name)
+    }
+
+    /// Substitute a symbol by another expression.
+    pub fn substitute(&self, name: &str, with: &SymExpr) -> SymExpr {
+        match self {
+            SymExpr::Int(v) => SymExpr::Int(*v),
+            SymExpr::Sym(s) => {
+                if s == name {
+                    with.clone()
+                } else {
+                    SymExpr::Sym(s.clone())
+                }
+            }
+            SymExpr::Add(a, b) => SymExpr::Add(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Sub(a, b) => SymExpr::Sub(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Mul(a, b) => SymExpr::Mul(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Div(a, b) => SymExpr::Div(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Rem(a, b) => SymExpr::Rem(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Min(a, b) => SymExpr::Min(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Max(a, b) => SymExpr::Max(
+                Box::new(a.substitute(name, with)),
+                Box::new(b.substitute(name, with)),
+            ),
+            SymExpr::Neg(a) => SymExpr::Neg(Box::new(a.substitute(name, with))),
+        }
+        .simplified()
+    }
+
+    /// Constant-fold and apply simple algebraic identities
+    /// (`x+0`, `x*1`, `x*0`, `x-0`, double negation, constant folding).
+    pub fn simplified(&self) -> SymExpr {
+        use SymExpr::*;
+        match self {
+            Int(_) | Sym(_) => self.clone(),
+            Add(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) => Int(x + y),
+                    (Int(0), _) => b,
+                    (_, Int(0)) => a,
+                    _ => Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Sub(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) => Int(x - y),
+                    (_, Int(0)) => a,
+                    _ if a == b => Int(0),
+                    _ => Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Mul(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) => Int(x * y),
+                    (Int(0), _) | (_, Int(0)) => Int(0),
+                    (Int(1), _) => b,
+                    (_, Int(1)) => a,
+                    _ => Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            Div(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) if *y != 0 => Int(x.div_euclid(*y)),
+                    (_, Int(1)) => a,
+                    _ => Div(Box::new(a), Box::new(b)),
+                }
+            }
+            Rem(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) if *y != 0 => Int(x.rem_euclid(*y)),
+                    _ => Rem(Box::new(a), Box::new(b)),
+                }
+            }
+            Min(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) => Int(*x.min(y)),
+                    _ if a == b => a,
+                    _ => Min(Box::new(a), Box::new(b)),
+                }
+            }
+            Max(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (Int(x), Int(y)) => Int(*x.max(y)),
+                    _ if a == b => a,
+                    _ => Max(Box::new(a), Box::new(b)),
+                }
+            }
+            Neg(a) => {
+                let a = a.simplified();
+                match &a {
+                    Int(x) => Int(-x),
+                    Neg(inner) => (**inner).clone(),
+                    _ => Neg(Box::new(a)),
+                }
+            }
+        }
+    }
+
+    /// True if the expression is the integer constant `v`.
+    pub fn is_const(&self, v: i64) -> bool {
+        matches!(self, SymExpr::Int(x) if *x == v)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Int(v) => write!(f, "{v}"),
+            SymExpr::Sym(s) => write!(f, "{s}"),
+            SymExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            SymExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            SymExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            SymExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            SymExpr::Rem(a, b) => write!(f, "({a} % {b})"),
+            SymExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            SymExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            SymExpr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+impl From<i64> for SymExpr {
+    fn from(v: i64) -> Self {
+        SymExpr::Int(v)
+    }
+}
+
+impl From<&str> for SymExpr {
+    fn from(s: &str) -> Self {
+        SymExpr::Sym(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        let e = SymExpr::sym("N").mul_int(2).add_int(3);
+        assert_eq!(e.eval(&bind(&[("N", 10)])).unwrap(), 23);
+    }
+
+    #[test]
+    fn eval_unbound_symbol_errors() {
+        let e = SymExpr::sym("M");
+        assert_eq!(
+            e.eval(&HashMap::new()),
+            Err(SymError::UnboundSymbol("M".into()))
+        );
+    }
+
+    #[test]
+    fn eval_division_by_zero_errors() {
+        let e = SymExpr::Div(Box::new(SymExpr::Int(4)), Box::new(SymExpr::Int(0)));
+        assert_eq!(e.eval_const(), Err(SymError::DivisionByZero));
+    }
+
+    #[test]
+    fn simplify_identities() {
+        let n = SymExpr::sym("N");
+        assert_eq!(n.add_int(0), n);
+        assert_eq!(n.mul_int(1), n);
+        assert_eq!(n.mul_int(0), SymExpr::Int(0));
+        assert_eq!(n.sub(&n), SymExpr::Int(0));
+        assert_eq!(
+            SymExpr::Neg(Box::new(SymExpr::Neg(Box::new(n.clone())))).simplified(),
+            n
+        );
+    }
+
+    #[test]
+    fn simplify_constant_folding() {
+        let e = SymExpr::Int(6).mul(&SymExpr::Int(7));
+        assert_eq!(e, SymExpr::Int(42));
+        let e = SymExpr::Min(Box::new(SymExpr::Int(3)), Box::new(SymExpr::Int(9))).simplified();
+        assert_eq!(e, SymExpr::Int(3));
+    }
+
+    #[test]
+    fn substitute_replaces_symbols() {
+        let e = SymExpr::sym("i").add(&SymExpr::sym("j"));
+        let s = e.substitute("i", &SymExpr::Int(5));
+        assert_eq!(s.eval(&bind(&[("j", 2)])).unwrap(), 7);
+        assert!(!s.references("i"));
+        assert!(s.references("j"));
+    }
+
+    #[test]
+    fn free_symbols_collects_all() {
+        let e = SymExpr::sym("N")
+            .mul(&SymExpr::sym("M"))
+            .add(&SymExpr::sym("N"));
+        let syms = e.free_symbols();
+        assert_eq!(syms.len(), 2);
+        assert!(syms.contains("N") && syms.contains("M"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = SymExpr::sym("N").add_int(1);
+        assert_eq!(format!("{e}"), "(N + 1)");
+    }
+
+    #[test]
+    fn euclidean_semantics_for_negative_operands() {
+        let e = SymExpr::Rem(Box::new(SymExpr::Int(-7)), Box::new(SymExpr::Int(3)));
+        assert_eq!(e.eval_const().unwrap(), 2);
+        let d = SymExpr::Div(Box::new(SymExpr::Int(-7)), Box::new(SymExpr::Int(3)));
+        assert_eq!(d.eval_const().unwrap(), -3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_expr(depth: u32) -> impl Strategy<Value = SymExpr> {
+        let leaf = prop_oneof![
+            (-20i64..20).prop_map(SymExpr::Int),
+            prop_oneof![Just("N".to_string()), Just("M".to_string())].prop_map(SymExpr::Sym),
+        ];
+        leaf.prop_recursive(depth, 64, 8, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| SymExpr::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| SymExpr::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| SymExpr::Mul(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| SymExpr::Min(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| SymExpr::Max(Box::new(a), Box::new(b))),
+                inner.clone().prop_map(|a| SymExpr::Neg(Box::new(a))),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Simplification must never change the value of an expression.
+        #[test]
+        fn simplify_preserves_evaluation(e in arb_expr(4), n in -10i64..10, m in -10i64..10) {
+            let mut bindings = HashMap::new();
+            bindings.insert("N".to_string(), n);
+            bindings.insert("M".to_string(), m);
+            let original = e.eval(&bindings);
+            let simplified = e.simplified().eval(&bindings);
+            prop_assert_eq!(original, simplified);
+        }
+
+        /// Substituting a symbol with a constant equals binding it.
+        #[test]
+        fn substitution_matches_binding(e in arb_expr(3), n in -10i64..10, m in -10i64..10) {
+            let mut full = HashMap::new();
+            full.insert("N".to_string(), n);
+            full.insert("M".to_string(), m);
+            let direct = e.eval(&full);
+            let substituted = e
+                .substitute("N", &SymExpr::Int(n))
+                .substitute("M", &SymExpr::Int(m))
+                .eval(&HashMap::new());
+            prop_assert_eq!(direct, substituted);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Errors raised by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    ShapeDataMismatch { expected: usize, got: usize },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// An index is out of bounds for the tensor shape.
+    IndexOutOfBounds { index: Vec<usize>, shape: Vec<usize> },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// A slice range is invalid (start > end or end > dimension).
+    InvalidSlice {
+        dim: usize,
+        start: usize,
+        end: usize,
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { op, expected, got } => {
+                write!(f, "{op} expects rank {expected}, got rank {got}")
+            }
+            TensorError::InvalidSlice {
+                dim,
+                start,
+                end,
+                len,
+            } => write!(
+                f,
+                "invalid slice {start}..{end} along dimension {dim} of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![2, 2],
+            rhs: vec![3],
+        };
+        let s = format!("{e}");
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 2]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::ShapeDataMismatch {
+            expected: 4,
+            got: 3,
+        });
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # dace-tensor
+//!
+//! Dense tensor substrate for the DaCe AD reproduction.
+//!
+//! This crate stands in for the NumPy array object plus the optimized BLAS
+//! libraries (MKL / CBLAS) that the paper's generated code calls into.  Both
+//! the DaCe AD runtime (`dace-runtime`) and the JAX-like baseline (`jax-rs`)
+//! execute on the same [`Tensor`] type and the same kernels, so performance
+//! comparisons between them measure the *algorithms* (in-place gradient
+//! propagation vs. immutable re-materialisation), not the substrate.
+//!
+//! Design points:
+//! * Row-major, contiguous `f64` storage. The paper's float32 deep-learning
+//!   kernels run in f64 here (documented substitution in `DESIGN.md`).
+//! * Element-wise and reduction kernels are straightforward loops; matrix
+//!   multiplication is blocked and parallelised with rayon, standing in for
+//!   the optimized library calls DaCe pattern-matches into library nodes.
+//! * Slicing produces owned tensors (copies); the zero-copy "cheap pointer
+//!   movement" path the paper highlights for DaCe is modelled by scalar
+//!   element accessors ([`Tensor::at`] / [`Tensor::at_mut`]) which the SDFG
+//!   interpreter uses for single-element memlets.
+
+pub mod error;
+pub mod linalg;
+pub mod ops;
+pub mod random;
+pub mod reduce;
+pub mod slice;
+pub mod tensor;
+
+pub use error::{TensorError, TensorResult};
+pub use tensor::Tensor;
+
+/// Relative + absolute tolerance comparison mirroring `np.allclose`.
+///
+/// The paper validates every gradient output with `np.allclose`; the NPBench
+/// cross-validation tests in this repository use the same predicate.
+pub fn allclose(a: &Tensor, b: &Tensor, rtol: f64, atol: f64) -> bool {
+    if a.shape() != b.shape() {
+        return false;
+    }
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+/// Default-tolerance variant of [`allclose`] (`rtol = 1e-5`, `atol = 1e-8`,
+/// the NumPy defaults).
+pub fn allclose_default(a: &Tensor, b: &Tensor) -> bool {
+    allclose(a, b, 1e-5, 1e-8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allclose_equal_tensors() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert!(allclose_default(&a, &b));
+    }
+
+    #[test]
+    fn allclose_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(!allclose_default(&a, &b));
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let b = Tensor::from_vec(vec![1.0 + 1e-9], &[1]).unwrap();
+        assert!(allclose_default(&a, &b));
+        let c = Tensor::from_vec(vec![1.1], &[1]).unwrap();
+        assert!(!allclose_default(&a, &c));
+    }
+}

@@ -1,0 +1,295 @@
+//! Element-wise operations (binary, unary, scalar) on tensors.
+
+use crate::error::{TensorError, TensorResult};
+use crate::tensor::Tensor;
+
+/// Binary element-wise operations supported by the substrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Max,
+    Min,
+}
+
+impl BinaryOp {
+    /// Apply the operation to two scalars.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Pow => a.powf(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Unary element-wise operations supported by the substrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Sqrt,
+    Tanh,
+    Abs,
+    Relu,
+    Sigmoid,
+    Square,
+    Recip,
+}
+
+impl UnaryOp {
+    /// Apply the operation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Square => x * x,
+            UnaryOp::Recip => 1.0 / x,
+        }
+    }
+
+    /// Derivative of the operation at `x` (with `y = op(x)` available for ops
+    /// whose derivative is cheaper in terms of the output).
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -1.0,
+            UnaryOp::Sin => x.cos(),
+            UnaryOp::Cos => -x.sin(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => 1.0 / x,
+            UnaryOp::Sqrt => 0.5 / x.sqrt(),
+            UnaryOp::Tanh => 1.0 - x.tanh() * x.tanh(),
+            UnaryOp::Abs => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            UnaryOp::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            UnaryOp::Square => 2.0 * x,
+            UnaryOp::Recip => -1.0 / (x * x),
+        }
+    }
+}
+
+impl Tensor {
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> TensorResult<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise binary operation with a same-shaped tensor.
+    pub fn binary(&self, other: &Tensor, op: BinaryOp) -> TensorResult<Tensor> {
+        self.check_same_shape(other, "binary")?;
+        let data: Vec<f64> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| op.apply(a, b))
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Element-wise binary operation with a scalar on the right.
+    pub fn binary_scalar(&self, rhs: f64, op: BinaryOp) -> Tensor {
+        let data: Vec<f64> = self.data().iter().map(|&a| op.apply(a, rhs)).collect();
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+
+    /// Element-wise unary operation.
+    pub fn unary(&self, op: UnaryOp) -> Tensor {
+        let data: Vec<f64> = self.data().iter().map(|&a| op.apply(a)).collect();
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+
+    /// `self + other`
+    pub fn add(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.binary(other, BinaryOp::Add)
+    }
+
+    /// `self - other`
+    pub fn sub(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.binary(other, BinaryOp::Sub)
+    }
+
+    /// `self * other` (element-wise)
+    pub fn mul(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.binary(other, BinaryOp::Mul)
+    }
+
+    /// `self / other` (element-wise)
+    pub fn div(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.binary(other, BinaryOp::Div)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.binary_scalar(s, BinaryOp::Mul)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f64) -> Tensor {
+        self.binary_scalar(s, BinaryOp::Add)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) -> TensorResult<()> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (BLAS axpy).
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) -> TensorResult<()> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// In-place element-wise multiply.
+    pub fn mul_assign(&mut self, other: &Tensor) -> TensorResult<()> {
+        self.check_same_shape(other, "mul_assign")?;
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
+    /// Map each element through `f`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        let data: Vec<f64> = self.data().iter().map(|&a| f(a)).collect();
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f64]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, -6.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn unary_ops_match_std() {
+        let a = t(&[0.5, 1.0]);
+        let s = a.unary(UnaryOp::Sin);
+        assert!((s.data()[0] - 0.5f64.sin()).abs() < 1e-15);
+        let r = t(&[-1.0, 2.0]).unary(UnaryOp::Relu);
+        assert_eq!(r.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn unary_derivatives_match_finite_differences() {
+        let ops = [
+            UnaryOp::Sin,
+            UnaryOp::Cos,
+            UnaryOp::Exp,
+            UnaryOp::Log,
+            UnaryOp::Sqrt,
+            UnaryOp::Tanh,
+            UnaryOp::Sigmoid,
+            UnaryOp::Square,
+            UnaryOp::Recip,
+        ];
+        let x = 0.7;
+        let h = 1e-6;
+        for op in ops {
+            let fd = (op.apply(x + h) - op.apply(x - h)) / (2.0 * h);
+            let an = op.derivative(x);
+            assert!(
+                (fd - an).abs() < 1e-5,
+                "derivative mismatch for {op:?}: fd={fd} an={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = t(&[1.0, 1.0]);
+        let b = t(&[2.0, 3.0]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[3.0, 4.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[4.0, 5.5]);
+    }
+
+    #[test]
+    fn map_applies_closure() {
+        let a = t(&[1.0, 2.0]);
+        assert_eq!(a.map(|x| x * x + 1.0).data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn binary_op_apply_covers_all() {
+        assert_eq!(BinaryOp::Pow.apply(2.0, 3.0), 8.0);
+        assert_eq!(BinaryOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinaryOp::Min.apply(2.0, 3.0), 2.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic pseudo-random tensor generation for workload inputs.
+//!
+//! NPBench initialises its inputs with `np.random` under a fixed seed; the
+//! kernel suite here does the same via these helpers so that DaCe AD and the
+//! JAX-like baseline consume bit-identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Uniform random tensor in `[0, 1)` from a seeded RNG.
+pub fn uniform(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let volume: usize = if shape.is_empty() {
+        1
+    } else {
+        shape.iter().product()
+    };
+    let data: Vec<f64> = (0..volume).map(|_| rng.gen::<f64>()).collect();
+    Tensor::from_vec(data, shape).expect("volume matches")
+}
+
+/// Uniform random tensor in `[lo, hi)`.
+pub fn uniform_range(shape: &[usize], lo: f64, hi: f64, seed: u64) -> Tensor {
+    uniform(shape, seed).map(|x| lo + x * (hi - lo))
+}
+
+/// Standard-normal random tensor (Box–Muller over the seeded uniform stream).
+pub fn normal(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let volume: usize = if shape.is_empty() {
+        1
+    } else {
+        shape.iter().product()
+    };
+    let data: Vec<f64> = (0..volume)
+        .map(|_| {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+    Tensor::from_vec(data, shape).expect("volume matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic() {
+        let a = uniform(&[4, 4], 42);
+        let b = uniform(&[4, 4], 42);
+        assert_eq!(a, b);
+        let c = uniform(&[4, 4], 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let a = uniform(&[100], 7);
+        assert!(a.data().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let a = uniform_range(&[100], -2.0, 3.0, 9);
+        assert!(a.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let a = normal(&[10_000], 3);
+        let mean = a.mean();
+        let var = a.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Reductions: full-tensor sum/max/min/mean and axis reductions.
+
+use crate::error::{TensorError, TensorResult};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f64 {
+        if self.len() == 0 {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max_value(&self) -> f64 {
+        self.data().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min_value(&self) -> f64 {
+        self.data().iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum along one axis, removing it from the shape.
+    pub fn sum_axis(&self, axis: usize) -> TensorResult<Tensor> {
+        if axis >= self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "sum_axis",
+                expected: axis + 1,
+                got: self.rank(),
+            });
+        }
+        let mut out_shape: Vec<usize> = self.shape().to_vec();
+        out_shape.remove(axis);
+        let mut out = Tensor::zeros(&out_shape);
+        for idx in self.indices() {
+            let mut out_idx = idx.clone();
+            out_idx.remove(axis);
+            let v = self.at(&idx).unwrap();
+            *out.at_mut(&out_idx).unwrap() += v;
+        }
+        Ok(out)
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f64 {
+        self.data().iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius-distance between two same-shaped tensors.
+    pub fn distance(&self, other: &Tensor) -> TensorResult<f64> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "distance",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn max_min() {
+        let t = Tensor::from_vec(vec![-1.0, 5.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.max_value(), 5.0);
+        assert_eq!(t.min_value(), -1.0);
+    }
+
+    #[test]
+    fn sum_axis_rows_and_cols() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let rows = t.sum_axis(0).unwrap();
+        assert_eq!(rows.shape(), &[3]);
+        assert_eq!(rows.data(), &[5.0, 7.0, 9.0]);
+        let cols = t.sum_axis(1).unwrap();
+        assert_eq!(cols.shape(), &[2]);
+        assert_eq!(cols.data(), &[6.0, 15.0]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.norm(), 5.0);
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        assert_eq!(a.distance(&b).unwrap(), 5.0);
+        assert!(a.distance(&Tensor::zeros(&[3])).is_err());
+    }
+}

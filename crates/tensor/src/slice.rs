@@ -1,0 +1,237 @@
+//! Slicing and sub-tensor update operations.
+//!
+//! Two flavours are provided:
+//! * checked, copying [`Tensor::slice`] / [`Tensor::update_slice`] — these are
+//!   what the JAX-like baseline uses to model `lax.dynamic_slice` and
+//!   `lax.dynamic_update_slice` (allocate-and-copy semantics, clamped start
+//!   indices, per-call bound handling), and
+//! * direct element accessors (in `tensor.rs`) used by the SDFG interpreter
+//!   for single-element memlets, which is the "cheap pointer movement" path
+//!   the paper attributes to DaCe-generated code.
+
+use crate::error::{TensorError, TensorResult};
+use crate::tensor::Tensor;
+
+/// A half-open range along one dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimRange {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl DimRange {
+    /// Construct a range; `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        DimRange { start, end }
+    }
+
+    /// Length of the range.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Tensor {
+    fn check_ranges(&self, ranges: &[DimRange]) -> TensorResult<()> {
+        if ranges.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "slice",
+                expected: self.rank(),
+                got: ranges.len(),
+            });
+        }
+        for (d, (r, &len)) in ranges.iter().zip(self.shape().iter()).enumerate() {
+            if r.start > r.end || r.end > len {
+                return Err(TensorError::InvalidSlice {
+                    dim: d,
+                    start: r.start,
+                    end: r.end,
+                    len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy out a rectangular sub-tensor.
+    pub fn slice(&self, ranges: &[DimRange]) -> TensorResult<Tensor> {
+        self.check_ranges(ranges)?;
+        let out_shape: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let mut out = Tensor::zeros(&out_shape);
+        let volume = out.len();
+        if volume == 0 {
+            return Ok(out);
+        }
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut src_idx = vec![0usize; out_shape.len()];
+        for flat in 0..volume {
+            for d in 0..out_shape.len() {
+                src_idx[d] = ranges[d].start + idx[d];
+            }
+            let v = self.at(&src_idx)?;
+            out.data_mut()[flat] = v;
+            for d in (0..out_shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Return a copy of `self` with the rectangular region starting at
+    /// `start` replaced by `patch` (the `dynamic_update_slice` contract:
+    /// a brand-new full-size tensor is allocated).
+    pub fn update_slice(&self, start: &[usize], patch: &Tensor) -> TensorResult<Tensor> {
+        if start.len() != self.rank() || patch.rank() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "update_slice",
+                expected: self.rank(),
+                got: start.len().max(patch.rank()),
+            });
+        }
+        // Clamp the start index the way XLA's dynamic_update_slice does.
+        let clamped: Vec<usize> = start
+            .iter()
+            .zip(self.shape().iter().zip(patch.shape().iter()))
+            .map(|(&s, (&dim, &plen))| s.min(dim.saturating_sub(plen)))
+            .collect();
+        let mut out = self.clone();
+        for idx in patch.indices() {
+            let mut dst = idx.clone();
+            for d in 0..dst.len() {
+                dst[d] += clamped[d];
+            }
+            let v = patch.at(&idx)?;
+            *out.at_mut(&dst)? = v;
+        }
+        Ok(out)
+    }
+
+    /// Extract a 2-D row as a vector.
+    pub fn row(&self, i: usize) -> TensorResult<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                got: self.rank(),
+            });
+        }
+        self.slice(&[DimRange::new(i, i + 1), DimRange::new(0, self.shape()[1])])?
+            .reshape(&[self.shape()[1]])
+    }
+
+    /// Extract a 2-D column as a vector.
+    pub fn col(&self, j: usize) -> TensorResult<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "col",
+                expected: 2,
+                got: self.rank(),
+            });
+        }
+        self.slice(&[DimRange::new(0, self.shape()[0]), DimRange::new(j, j + 1)])?
+            .reshape(&[self.shape()[0]])
+    }
+
+    /// Concatenate two tensors along axis 0.
+    pub fn concat0(&self, other: &Tensor) -> TensorResult<Tensor> {
+        if self.rank() != other.rank()
+            || self.shape()[1..] != other.shape()[1..]
+            || self.rank() == 0
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat0",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut shape = self.shape().to_vec();
+        shape[0] += other.shape()[0];
+        let mut data = Vec::with_capacity(self.len() + other.len());
+        data.extend_from_slice(self.data());
+        data.extend_from_slice(other.data());
+        Tensor::from_vec(data, &shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_extracts_block() {
+        let t = Tensor::from_fn(&[4, 4], |i| (i[0] * 4 + i[1]) as f64);
+        let s = t
+            .slice(&[DimRange::new(1, 3), DimRange::new(2, 4)])
+            .unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn slice_validates_ranges() {
+        let t = Tensor::zeros(&[3, 3]);
+        assert!(t.slice(&[DimRange::new(0, 4), DimRange::new(0, 3)]).is_err());
+        assert!(t.slice(&[DimRange::new(2, 1), DimRange::new(0, 3)]).is_err());
+        assert!(t.slice(&[DimRange::new(0, 3)]).is_err());
+    }
+
+    #[test]
+    fn update_slice_returns_new_tensor() {
+        let t = Tensor::zeros(&[3, 3]);
+        let patch = Tensor::ones(&[2, 2]);
+        let u = t.update_slice(&[1, 1], &patch).unwrap();
+        // original untouched (immutability semantics)
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(u.sum(), 4.0);
+        assert_eq!(u.at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(u.at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn update_slice_clamps_like_xla() {
+        let t = Tensor::zeros(&[3, 3]);
+        let patch = Tensor::ones(&[2, 2]);
+        // start (2,2) would overflow; XLA clamps to (1,1)
+        let u = t.update_slice(&[2, 2], &patch).unwrap();
+        assert_eq!(u.at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(u.at(&[2, 2]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn row_and_col() {
+        let t = Tensor::from_fn(&[3, 2], |i| (i[0] * 2 + i[1]) as f64);
+        assert_eq!(t.row(1).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(t.col(1).unwrap().data(), &[1.0, 3.0, 5.0]);
+        assert!(Tensor::zeros(&[2]).row(0).is_err());
+    }
+
+    #[test]
+    fn concat0_stacks_rows() {
+        let a = Tensor::ones(&[1, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let c = a.concat0(&b).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data()[0], 1.0);
+        assert_eq!(c.data()[5], 0.0);
+        assert!(a.concat0(&Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn slice_roundtrip_with_update() {
+        let t = Tensor::from_fn(&[5, 5], |i| (i[0] + i[1]) as f64);
+        let block = t
+            .slice(&[DimRange::new(1, 4), DimRange::new(1, 4)])
+            .unwrap();
+        let restored = t.update_slice(&[1, 1], &block).unwrap();
+        assert_eq!(restored, t);
+    }
+}
