@@ -76,10 +76,13 @@ fn fig13_ilp_checkpoint(c: &mut Criterion) {
     let n: usize = 96;
     let mut b = ProgramBuilder::new("listing1");
     let sym_n = b.symbol("N");
-    b.add_input("C", vec![sym_n.clone(), sym_n.clone()]).unwrap();
-    b.add_input("D", vec![sym_n.clone(), sym_n.clone()]).unwrap();
+    b.add_input("C", vec![sym_n.clone(), sym_n.clone()])
+        .unwrap();
+    b.add_input("D", vec![sym_n.clone(), sym_n.clone()])
+        .unwrap();
     for t in ["A0", "A1", "A2", "sin0", "sin1", "sin2", "D1", "D2", "tmp"] {
-        b.add_transient(t, vec![sym_n.clone(), sym_n.clone()]).unwrap();
+        b.add_transient(t, vec![sym_n.clone(), sym_n.clone()])
+            .unwrap();
     }
     b.add_scalar("OUT").unwrap();
     b.assign("A0", ArrayExpr::a("C").mul(ArrayExpr::a("D")));
@@ -92,7 +95,9 @@ fn fig13_ilp_checkpoint(c: &mut Criterion) {
     b.assign("sin2", ArrayExpr::a("A2").sin());
     b.assign(
         "tmp",
-        ArrayExpr::a("sin0").add(ArrayExpr::a("sin1")).add(ArrayExpr::a("sin2")),
+        ArrayExpr::a("sin0")
+            .add(ArrayExpr::a("sin1"))
+            .add(ArrayExpr::a("sin2")),
     );
     b.sum_into("OUT", "tmp", false);
     let fwd = b.build().unwrap();
@@ -116,14 +121,9 @@ fn fig13_ilp_checkpoint(c: &mut Criterion) {
         ),
     ];
     for (label, strategy) in strategies {
-        let engine = GradientEngine::new(
-            &fwd,
-            "OUT",
-            &["C", "D"],
-            &symbols,
-            &AdOptions { strategy },
-        )
-        .unwrap();
+        let engine =
+            GradientEngine::new(&fwd, "OUT", &["C", "D"], &symbols, &AdOptions { strategy })
+                .unwrap();
         group.bench_with_input(BenchmarkId::new(label, n), &inputs, |b, inputs| {
             b.iter(|| engine.run(inputs).unwrap())
         });

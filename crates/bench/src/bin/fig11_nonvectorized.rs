@@ -16,7 +16,10 @@ fn main() {
     print_table("Fig. 11 (top): non-vectorized benchmarks", &rows);
 
     println!("\n=== Fig. 11 (bottom): forward-pass program size (statements) ===");
-    println!("{:<12} {:>10} {:>10} {:>8}", "kernel", "DaCe AD", "baseline", "ratio");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "kernel", "DaCe AD", "baseline", "ratio"
+    );
     for (name, dace, jax) in loc_comparison(&kernels) {
         println!(
             "{:<12} {:>10} {:>10} {:>7.2}x",

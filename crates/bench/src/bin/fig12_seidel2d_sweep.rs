@@ -6,7 +6,10 @@ use npbench::{kernel_by_name, Sizes};
 fn main() {
     let kernel = kernel_by_name("seidel2d").unwrap();
     println!("=== Fig. 12: Seidel2d size sweep (TSTEPS = 4) ===");
-    println!("{:>6} {:>14} {:>14} {:>10}", "N", "DaCe AD [ms]", "baseline [ms]", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "N", "DaCe AD [ms]", "baseline [ms]", "speedup"
+    );
     for n in [8usize, 12, 16, 20, 24, 28, 32] {
         let sizes = Sizes::new(n, 0, 4);
         match measure_kernel_sized(kernel.as_ref(), &sizes, 2) {

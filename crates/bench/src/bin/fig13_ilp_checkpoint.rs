@@ -32,7 +32,9 @@ fn listing1() -> Sdfg {
     b.assign("sin2", ArrayExpr::a("A2").sin());
     b.assign(
         "tmp",
-        ArrayExpr::a("sin0").add(ArrayExpr::a("sin1")).add(ArrayExpr::a("sin2")),
+        ArrayExpr::a("sin0")
+            .add(ArrayExpr::a("sin1"))
+            .add(ArrayExpr::a("sin2")),
     );
     b.sum_into("OUT", "tmp", false);
     b.build().unwrap()
@@ -64,7 +66,9 @@ fn main() {
             .map(|(_, a)| a.to_string())
             .collect();
         let opts = AdOptions {
-            strategy: CheckpointStrategy::Manual { store: store.clone() },
+            strategy: CheckpointStrategy::Manual {
+                store: store.clone(),
+            },
         };
         let engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
         let start = Instant::now();
@@ -74,7 +78,11 @@ fn main() {
         println!(
             "C-{:<6} {:<22} {:>12.2} {:>16.2}",
             mask,
-            if store.is_empty() { "(none)".to_string() } else { store.join(",") },
+            if store.is_empty() {
+                "(none)".to_string()
+            } else {
+                store.join(",")
+            },
             elapsed.as_secs_f64() * 1e3,
             peak_mib
         );
@@ -86,7 +94,9 @@ fn main() {
     let min_peak = results.iter().map(|(_, _, p)| *p).min().unwrap();
     let limit = min_peak + (max_peak - min_peak) * 3 / 4;
     let opts = AdOptions {
-        strategy: CheckpointStrategy::Ilp { memory_limit_bytes: limit },
+        strategy: CheckpointStrategy::Ilp {
+            memory_limit_bytes: limit,
+        },
     };
     let engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
     let report = engine.plan().ilp_report.clone().unwrap();

@@ -10,7 +10,9 @@ use npbench::{kernel_by_name, Preset};
 
 fn main() {
     let factor = parallel_kernel_speedup();
-    println!("=== Fig. 14: DaCe AD [CPU] vs baseline with a {factor:.1}x faster backend (GPU proxy) ===");
+    println!(
+        "=== Fig. 14: DaCe AD [CPU] vs baseline with a {factor:.1}x faster backend (GPU proxy) ==="
+    );
     println!(
         "{:<12} {:>14} {:>20} {:>10}",
         "kernel", "DaCe AD [ms]", "baseline/GPU-proxy", "speedup"

@@ -2,15 +2,48 @@
 //! this reproduction in the DaCe AD column.
 fn main() {
     println!("Table I: Overview of existing solutions for automatic differentiation");
-    println!("{:<34} {:>10} {:>12} {:>8} {:>8}", "capability", "PyTorch/TF", "JAX", "Enzyme", "DaCe AD");
+    println!(
+        "{:<34} {:>10} {:>12} {:>8} {:>8}",
+        "capability", "PyTorch/TF", "JAX", "Enzyme", "DaCe AD"
+    );
     let rows = [
-        ("supports ML target programs", "yes", "yes", "partial", "yes"),
-        ("supports scientific computing", "partial", "partial", "yes", "yes"),
+        (
+            "supports ML target programs",
+            "yes",
+            "yes",
+            "partial",
+            "yes",
+        ),
+        (
+            "supports scientific computing",
+            "partial",
+            "partial",
+            "yes",
+            "yes",
+        ),
         ("performance on ML", "yes", "yes", "partial", "yes"),
-        ("performance on scientific codes", "partial", "partial", "partial", "yes"),
+        (
+            "performance on scientific codes",
+            "partial",
+            "partial",
+            "partial",
+            "yes",
+        ),
         ("minimal code changes (ML)", "yes", "yes", "yes", "yes"),
-        ("minimal code changes (scientific)", "no", "no", "yes", "yes"),
-        ("automatic checkpointing", "no", "no", "partial", "yes (ILP)"),
+        (
+            "minimal code changes (scientific)",
+            "no",
+            "no",
+            "yes",
+            "yes",
+        ),
+        (
+            "automatic checkpointing",
+            "no",
+            "no",
+            "partial",
+            "yes (ILP)",
+        ),
     ];
     for (cap, a, b, c, d) in rows {
         println!("{cap:<34} {a:>10} {b:>12} {c:>8} {d:>8}");

@@ -145,8 +145,7 @@ pub fn apply_strategy(
         CheckpointStrategy::Ilp { memory_limit_bytes } => {
             report.memory_limit_bytes = Some(*memory_limit_bytes);
             let start = Instant::now();
-            let (set, nodes, feasible) =
-                solve_ilp(plan, &analyzed, *memory_limit_bytes, symbols);
+            let (set, nodes, feasible) = solve_ilp(plan, &analyzed, *memory_limit_bytes, symbols);
             report.solve_time = start.elapsed();
             report.solver_nodes = nodes;
             report.feasible = feasible;
@@ -177,7 +176,9 @@ pub fn apply_strategy(
 
     // Insertions must be applied back-to-front so indices stay valid.
     let ControlFlow::Sequence(ref mut top) = plan.sdfg.cfg else {
-        return Err(AdError::Malformed("gradient SDFG has no top-level sequence".into()));
+        return Err(AdError::Malformed(
+            "gradient SDFG has no top-level sequence".into(),
+        ));
     };
     let mut insertions: Vec<(usize, Vec<ControlFlow>, &AnalyzedCandidate)> = Vec::new();
     for (stored, a) in &decisions {
@@ -189,7 +190,10 @@ pub fn apply_strategy(
         plan.recomputed.push(a.array.clone());
         // Free after the last forward reader.
         if let Some(sid) = last_state_of(&top[a.last_forward_reader]) {
-            plan.free_hints.entry(sid).or_default().push(a.array.clone());
+            plan.free_hints
+                .entry(sid)
+                .or_default()
+                .push(a.array.clone());
         }
         // Free the candidate and its temporaries after the last backward reader.
         if let Some(sid) = last_state_of(&top[a.last_backward_reader]) {
@@ -275,7 +279,9 @@ fn analyze_candidate(
     symbols: &HashMap<String, i64>,
 ) -> Result<Option<AnalyzedCandidate>, AdError> {
     let ControlFlow::Sequence(top) = plan.sdfg.cfg.clone() else {
-        return Err(AdError::Malformed("gradient SDFG has no top-level sequence".into()));
+        return Err(AdError::Malformed(
+            "gradient SDFG has no top-level sequence".into(),
+        ));
     };
     let fwd_half = &top[..plan.backward_start_index];
     let (fwd_reads, fwd_writes) = item_accesses(fwd_half, &plan.sdfg, array);
@@ -389,10 +395,8 @@ fn build_recompute_slice(
 
     // Emit the slice states in original program order, renaming every
     // transient intermediate except the target itself.
-    let mut ordered: Vec<(usize, String)> = needed
-        .iter()
-        .map(|a| (writers[a][0], a.clone()))
-        .collect();
+    let mut ordered: Vec<(usize, String)> =
+        needed.iter().map(|a| (writers[a][0], a.clone())).collect();
     ordered.sort_by_key(|(k, _)| *k);
 
     let mut rename_map: BTreeMap<String, String> = BTreeMap::new();
@@ -481,7 +485,11 @@ fn baseline_intervals(
             continue;
         }
         if !desc.transient {
-            out.push(Interval { start: 0, end: horizon, bytes });
+            out.push(Interval {
+                start: 0,
+                end: horizon,
+                bytes,
+            });
         } else {
             // Transients live from their first write to their last reference
             // (the liveness pass frees them there).
@@ -492,7 +500,11 @@ fn baseline_intervals(
                     .copied()
                     .unwrap_or(first)
                     .max(writes.last().copied().unwrap_or(first));
-                out.push(Interval { start: first, end: last, bytes });
+                out.push(Interval {
+                    start: first,
+                    end: last,
+                    bytes,
+                });
             }
         }
     }
@@ -609,7 +621,11 @@ fn solve_ilp(
     let mut ilp = IlpProblem::binary(n);
     // Objective: minimise recomputation cost = sum c_i (1 - v_i)  <=> minimise -c_i v_i.
     for (i, a) in analyzed.iter().enumerate() {
-        let cost = if a.recomputable { a.flops.max(1.0) } else { 1e15 };
+        let cost = if a.recomputable {
+            a.flops.max(1.0)
+        } else {
+            1e15
+        };
         ilp.set_objective(i, -cost);
     }
     // One constraint per timeline position (memory-measurement sequence).
@@ -631,8 +647,8 @@ fn solve_ilp(
             let s = a.size_bytes as f64;
             let r = a.overhead_bytes as f64;
             let store_term = if store_alive { s } else { 0.0 };
-            let rec_term = if rec_alive_fwd { s } else { 0.0 }
-                + if rec_alive_bwd { s + r } else { 0.0 };
+            let rec_term =
+                if rec_alive_fwd { s } else { 0.0 } + if rec_alive_bwd { s + r } else { 0.0 };
             // m_t += store_term * v_i + rec_term * (1 - v_i)
             constant += rec_term;
             row[i] += store_term - rec_term;
@@ -686,7 +702,12 @@ pub(crate) mod tests {
         b.assign("D2", ArrayExpr::a("D1").mul(ArrayExpr::s(3.0)));
         b.assign("A2", ArrayExpr::a("C").mul(ArrayExpr::a("D2")));
         b.assign("sin2", ArrayExpr::a("A2").sin());
-        b.assign("tmp", ArrayExpr::a("sin0").add(ArrayExpr::a("sin1")).add(ArrayExpr::a("sin2")));
+        b.assign(
+            "tmp",
+            ArrayExpr::a("sin0")
+                .add(ArrayExpr::a("sin1"))
+                .add(ArrayExpr::a("sin2")),
+        );
         b.sum_into("OUT", "tmp", false);
         b.build().unwrap()
     }
@@ -732,13 +753,18 @@ pub(crate) mod tests {
         let mut plan = generate_backward(&fwd, "OUT", &["C", "D"]).unwrap();
         let report = apply_strategy(
             &mut plan,
-            &CheckpointStrategy::Ilp { memory_limit_bytes: usize::MAX / 2 },
+            &CheckpointStrategy::Ilp {
+                memory_limit_bytes: usize::MAX / 2,
+            },
             &symbols(8),
         )
         .unwrap();
         assert!(report.feasible);
         for a in ["A0", "A1", "A2"] {
-            assert!(report.stored.contains(&a.to_string()), "{a} should be stored");
+            assert!(
+                report.stored.contains(&a.to_string()),
+                "{a} should be stored"
+            );
         }
     }
 
@@ -756,7 +782,9 @@ pub(crate) mod tests {
         let mut plan = generate_backward(&fwd, "OUT", &["C", "D"]).unwrap();
         let report = apply_strategy(
             &mut plan,
-            &CheckpointStrategy::Ilp { memory_limit_bytes: limit },
+            &CheckpointStrategy::Ilp {
+                memory_limit_bytes: limit,
+            },
             &symbols(16),
         )
         .unwrap();
@@ -787,7 +815,9 @@ pub(crate) mod tests {
         let mut plan = generate_backward(&fwd, "OUT", &["C", "D"]).unwrap();
         let report = apply_strategy(
             &mut plan,
-            &CheckpointStrategy::Manual { store: vec!["A1".into(), "A2".into()] },
+            &CheckpointStrategy::Manual {
+                store: vec!["A1".into(), "A2".into()],
+            },
             &symbols(8),
         )
         .unwrap();

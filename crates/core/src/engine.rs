@@ -196,8 +196,7 @@ mod tests {
         let result = engine.run(inputs).unwrap();
         for input in wrt {
             let ad = &result.gradients[*input];
-            let fd =
-                finite_difference_gradient(fwd, output, input, symbols, inputs, 1e-5).unwrap();
+            let fd = finite_difference_gradient(fwd, output, input, symbols, inputs, 1e-5).unwrap();
             for (a, b) in ad.data().iter().zip(fd.data().iter()) {
                 assert!(
                     (a - b).abs() <= tol * (1.0 + b.abs()),
@@ -218,7 +217,14 @@ mod tests {
         b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(3.0)));
         b.sum_into("OUT", "Y", false);
         let fwd = b.build().unwrap();
-        let engine = GradientEngine::new(&fwd, "OUT", &["X"], &symbols(&[("N", 5)]), &AdOptions::default()).unwrap();
+        let engine = GradientEngine::new(
+            &fwd,
+            "OUT",
+            &["X"],
+            &symbols(&[("N", 5)]),
+            &AdOptions::default(),
+        )
+        .unwrap();
         let mut inputs = HashMap::new();
         inputs.insert("X".to_string(), uniform(&[5], 1));
         let res = engine.run(&inputs).unwrap();
@@ -337,7 +343,10 @@ mod tests {
             b.add_scalar("OUT").unwrap();
             b.branch(
                 CondExpr::Cmp {
-                    lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                    lhs: CondOperand::Element {
+                        array: "P".into(),
+                        index: vec![SymExpr::int(0)],
+                    },
                     op: CmpOp::Gt,
                     rhs: CondOperand::Const(0.0),
                 },
@@ -367,7 +376,8 @@ mod tests {
         inputs.insert("C".to_string(), uniform(&[16, 16], 21));
         inputs.insert("D".to_string(), uniform(&[16, 16], 22));
 
-        let store = GradientEngine::new(&fwd, "OUT", &["C", "D"], &syms, &AdOptions::default()).unwrap();
+        let store =
+            GradientEngine::new(&fwd, "OUT", &["C", "D"], &syms, &AdOptions::default()).unwrap();
         let store_res = store.run(&inputs).unwrap();
 
         let recompute = GradientEngine::new(
@@ -375,7 +385,9 @@ mod tests {
             "OUT",
             &["C", "D"],
             &syms,
-            &AdOptions { strategy: CheckpointStrategy::RecomputeAll },
+            &AdOptions {
+                strategy: CheckpointStrategy::RecomputeAll,
+            },
         )
         .unwrap();
         let rec_res = recompute.run(&inputs).unwrap();

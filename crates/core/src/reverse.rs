@@ -207,7 +207,8 @@ impl<'a> Ctx<'a> {
             out.add_symbol(s.clone());
         }
         for (name, desc) in &fwd.arrays {
-            out.add_array(name.clone(), desc.clone()).expect("fresh sdfg");
+            out.add_array(name.clone(), desc.clone())
+                .expect("fresh sdfg");
         }
         // Gradient containers for every contributing array.  Only the
         // gradients the caller asked for (and the seed) are program outputs;
@@ -237,7 +238,14 @@ impl<'a> Ctx<'a> {
             order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         let mut write_pos: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut written_in_loop: BTreeSet<String> = BTreeSet::new();
-        collect_write_info(fwd, &fwd.cfg, 0, &state_pos, &mut write_pos, &mut written_in_loop);
+        collect_write_info(
+            fwd,
+            &fwd.cfg,
+            0,
+            &state_pos,
+            &mut write_pos,
+            &mut written_in_loop,
+        );
 
         Ctx {
             fwd,
@@ -332,17 +340,11 @@ impl<'a> Ctx<'a> {
                     )));
                 }
                 let trips = if step > 0 {
-                    SymExpr::Max(
-                        Box::new(l.end.sub(&l.start)),
-                        Box::new(SymExpr::int(0)),
-                    )
-                    .simplified()
+                    SymExpr::Max(Box::new(l.end.sub(&l.start)), Box::new(SymExpr::int(0)))
+                        .simplified()
                 } else {
-                    SymExpr::Max(
-                        Box::new(l.start.sub(&l.end)),
-                        Box::new(SymExpr::int(0)),
-                    )
-                    .simplified()
+                    SymExpr::Max(Box::new(l.start.sub(&l.end)), Box::new(SymExpr::int(0)))
+                        .simplified()
                 };
                 self.loop_stack.push(LoopCtx {
                     var: l.var.clone(),
@@ -391,9 +393,16 @@ impl<'a> Ctx<'a> {
                 self.stored.push(flag.clone());
                 let set_flag = |ctx: &mut Ctx, value: f64| -> usize {
                     let mut g = DataflowGraph::new();
-                    let t = g.add_tasklet(Tasklet::new("store_cond", "out", ScalarExpr::Const(value)));
+                    let t =
+                        g.add_tasklet(Tasklet::new("store_cond", "out", ScalarExpr::Const(value)));
                     let a = g.add_access(&flag);
-                    g.add_edge(t, Some("out"), a, None, Memlet::element(&flag, vec![SymExpr::int(0)]));
+                    g.add_edge(
+                        t,
+                        Some("out"),
+                        a,
+                        None,
+                        Memlet::element(&flag, vec![SymExpr::int(0)]),
+                    );
                     ctx.out.add_state(State {
                         name: format!("{flag}_set"),
                         graph: g,
@@ -538,8 +547,20 @@ impl<'a> Ctx<'a> {
         let src = g.add_access(array);
         let t = g.add_tasklet(Tasklet::new("store", "out", ScalarExpr::input("v")));
         let dst = g.add_access(&tape);
-        g.add_edge(src, None, t, Some("v"), Memlet::element(array, idx.to_vec()));
-        g.add_edge(t, Some("out"), dst, None, Memlet::element(&tape, tape_idx.clone()));
+        g.add_edge(
+            src,
+            None,
+            t,
+            Some("v"),
+            Memlet::element(array, idx.to_vec()),
+        );
+        g.add_edge(
+            t,
+            Some("out"),
+            dst,
+            None,
+            Memlet::element(&tape, tape_idx.clone()),
+        );
         let sid = self.out.add_state(State {
             name: format!("{tape}_store"),
             graph: g,
@@ -583,7 +604,13 @@ impl<'a> Ctx<'a> {
         let src = body.add_access(array);
         let t = body.add_tasklet(Tasklet::new("copy", "out", ScalarExpr::input("v")));
         let dst = body.add_access(&tape);
-        body.add_edge(src, None, t, Some("v"), Memlet::element(array, qidx.clone()));
+        body.add_edge(
+            src,
+            None,
+            t,
+            Some("v"),
+            Memlet::element(array, qidx.clone()),
+        );
         let mut tidx = offsets.clone();
         tidx.extend(qidx.clone());
         body.add_edge(t, Some("out"), dst, None, Memlet::element(&tape, tidx));
@@ -591,7 +618,11 @@ impl<'a> Ctx<'a> {
         let srcn = g.add_access(array);
         let map = g.add_map(MapScope {
             params,
-            ranges: desc.shape.iter().map(|d| (SymExpr::int(0), d.clone())).collect(),
+            ranges: desc
+                .shape
+                .iter()
+                .map(|d| (SymExpr::int(0), d.clone()))
+                .collect(),
             body,
             parallel: true,
         });
@@ -707,8 +738,7 @@ impl<'a> Ctx<'a> {
             let (value_memlet, store) = if map_ctx.is_some() {
                 // Inside a map body: forward whole-array copies so that the
                 // per-point index expressions keep working.
-                let (container, offsets, store) =
-                    self.forward_array_value(&memlet.data, pos)?;
+                let (container, offsets, store) = self.forward_array_value(&memlet.data, pos)?;
                 let mut idx = offsets;
                 idx.extend(memlet.subset.eval_symbolic());
                 (Memlet::element(container, idx), store)
@@ -840,8 +870,14 @@ impl<'a> Ctx<'a> {
         let DfNode::Tasklet(tasklet) = &map.body.nodes[tnode] else {
             unreachable!()
         };
-        let (tape_states, body_states) =
-            self.reverse_tasklet(&map.body.clone(), tnode, tasklet, pos, state_name, Some(map))?;
+        let (tape_states, body_states) = self.reverse_tasklet(
+            &map.body.clone(),
+            tnode,
+            tasklet,
+            pos,
+            state_name,
+            Some(map),
+        )?;
         if body_states.is_empty() {
             return Ok((tape_states, Vec::new()));
         }
@@ -965,7 +1001,9 @@ impl<'a> Ctx<'a> {
                     ));
                 }
                 if !out_wcr {
-                    adjoints.push(self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()));
+                    adjoints.push(
+                        self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()),
+                    );
                 }
             }
             LibraryOp::MatVec => {
@@ -994,7 +1032,9 @@ impl<'a> Ctx<'a> {
                     ));
                 }
                 if !out_wcr {
-                    adjoints.push(self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()));
+                    adjoints.push(
+                        self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()),
+                    );
                 }
             }
             LibraryOp::Transpose => {
@@ -1002,17 +1042,21 @@ impl<'a> Ctx<'a> {
                 if let Some(ga) = self.grad(&a) {
                     // grad_A[i,j] += grad_out[j,i]
                     let shape = self.fwd.arrays[&a].shape.clone();
-                    adjoints.push(self.transpose_accumulate_state(&grad_out, &ga, &shape, state_name));
+                    adjoints
+                        .push(self.transpose_accumulate_state(&grad_out, &ga, &shape, state_name));
                 }
                 if !out_wcr {
-                    adjoints.push(self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()));
+                    adjoints.push(
+                        self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()),
+                    );
                 }
             }
             LibraryOp::SumReduce { .. } => {
                 let a = in_arrays.get("IN").cloned().unwrap_or_default();
                 if let Some(ga) = self.grad(&a) {
                     let shape = self.fwd.arrays[&a].shape.clone();
-                    adjoints.push(self.broadcast_accumulate_state(&grad_out, &ga, &shape, state_name));
+                    adjoints
+                        .push(self.broadcast_accumulate_state(&grad_out, &ga, &shape, state_name));
                 }
                 if !out_wcr {
                     adjoints.push(self.zero_state(&grad_out, &[SymExpr::int(1)]));
@@ -1022,10 +1066,13 @@ impl<'a> Ctx<'a> {
                 let a = in_arrays.get("A").cloned().unwrap_or_default();
                 if let Some(ga) = self.grad(&a) {
                     let shape = self.fwd.arrays[&a].shape.clone();
-                    adjoints.push(self.identity_accumulate_state(&grad_out, &ga, &shape, state_name));
+                    adjoints
+                        .push(self.identity_accumulate_state(&grad_out, &ga, &shape, state_name));
                 }
                 if !out_wcr {
-                    adjoints.push(self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()));
+                    adjoints.push(
+                        self.zero_state(&grad_out, &self.fwd.arrays[&out_array].shape.clone()),
+                    );
                 }
             }
         }
@@ -1121,7 +1168,13 @@ impl<'a> Ctx<'a> {
             ScalarExpr::input("g").mul(ScalarExpr::input("v")),
         ));
         let dn = body.add_access(dst);
-        body.add_edge(gyn, None, t, Some("g"), Memlet::element(gy, vec![i.clone()]));
+        body.add_edge(
+            gyn,
+            None,
+            t,
+            Some("g"),
+            Memlet::element(gy, vec![i.clone()]),
+        );
         body.add_edge(xn, None, t, Some("v"), Memlet::element(x, vec![j.clone()]));
         body.add_edge(
             t,
@@ -1166,7 +1219,13 @@ impl<'a> Ctx<'a> {
         let s = body.add_access(src);
         let t = body.add_tasklet(Tasklet::new("tacc", "out", ScalarExpr::input("v")));
         let d = body.add_access(dst);
-        body.add_edge(s, None, t, Some("v"), Memlet::element(src, vec![j.clone(), i.clone()]));
+        body.add_edge(
+            s,
+            None,
+            t,
+            Some("v"),
+            Memlet::element(src, vec![j.clone(), i.clone()]),
+        );
         body.add_edge(
             t,
             Some("out"),
@@ -1198,10 +1257,21 @@ impl<'a> Ctx<'a> {
         let t = body.add_tasklet(Tasklet::new("idacc", "out", ScalarExpr::input("v")));
         let d = body.add_access(dst);
         body.add_edge(s, None, t, Some("v"), Memlet::element(src, idx.clone()));
-        body.add_edge(t, Some("out"), d, None, Memlet::element(dst, idx).with_wcr_sum());
+        body.add_edge(
+            t,
+            Some("out"),
+            d,
+            None,
+            Memlet::element(dst, idx).with_wcr_sum(),
+        );
         let ranges: Vec<(&str, SymExpr)> = params
             .iter()
-            .map(|p| (p.as_str(), shape[params.iter().position(|x| x == p).unwrap()].clone()))
+            .map(|p| {
+                (
+                    p.as_str(),
+                    shape[params.iter().position(|x| x == p).unwrap()].clone(),
+                )
+            })
             .collect();
         self.wrap_map_state(body, ranges, &[src], dst, &format!("adj_copy_{label}"))
     }
@@ -1220,14 +1290,32 @@ impl<'a> Ctx<'a> {
         let s = body.add_access(scalar_src);
         let t = body.add_tasklet(Tasklet::new("bcast", "out", ScalarExpr::input("g")));
         let d = body.add_access(dst);
-        body.add_edge(s, None, t, Some("g"), Memlet::element(scalar_src, vec![SymExpr::int(0)]));
-        body.add_edge(t, Some("out"), d, None, Memlet::element(dst, idx).with_wcr_sum());
+        body.add_edge(
+            s,
+            None,
+            t,
+            Some("g"),
+            Memlet::element(scalar_src, vec![SymExpr::int(0)]),
+        );
+        body.add_edge(
+            t,
+            Some("out"),
+            d,
+            None,
+            Memlet::element(dst, idx).with_wcr_sum(),
+        );
         let ranges: Vec<(&str, SymExpr)> = params
             .iter()
             .enumerate()
             .map(|(k, p)| (p.as_str(), shape[k].clone()))
             .collect();
-        self.wrap_map_state(body, ranges, &[scalar_src], dst, &format!("adj_bcast_{label}"))
+        self.wrap_map_state(
+            body,
+            ranges,
+            &[scalar_src],
+            dst,
+            &format!("adj_bcast_{label}"),
+        )
     }
 
     /// `array[q...] = 0` over `shape` (gradient clearing, Fig. 4).
@@ -1261,7 +1349,10 @@ impl<'a> Ctx<'a> {
         }
         let map = g.add_map(MapScope {
             params: ranges.iter().map(|(p, _)| p.to_string()).collect(),
-            ranges: ranges.iter().map(|(_, e)| (SymExpr::int(0), e.clone())).collect(),
+            ranges: ranges
+                .iter()
+                .map(|(_, e)| (SymExpr::int(0), e.clone()))
+                .collect(),
             body,
             parallel: true,
         });
@@ -1308,11 +1399,23 @@ fn collect_write_info(
                 collect_write_info(sdfg, c, loop_depth, state_pos, write_pos, written_in_loop);
             }
         }
-        ControlFlow::Loop(l) => {
-            collect_write_info(sdfg, &l.body, loop_depth + 1, state_pos, write_pos, written_in_loop)
-        }
+        ControlFlow::Loop(l) => collect_write_info(
+            sdfg,
+            &l.body,
+            loop_depth + 1,
+            state_pos,
+            write_pos,
+            written_in_loop,
+        ),
         ControlFlow::Branch(b) => {
-            collect_write_info(sdfg, &b.then_body, loop_depth, state_pos, write_pos, written_in_loop);
+            collect_write_info(
+                sdfg,
+                &b.then_body,
+                loop_depth,
+                state_pos,
+                write_pos,
+                written_in_loop,
+            );
             if let Some(e) = &b.else_body {
                 collect_write_info(sdfg, e, loop_depth, state_pos, write_pos, written_in_loop);
             }
@@ -1364,7 +1467,10 @@ mod tests {
         assert!(plan.gradients.contains_key("X"));
         assert!(plan.gradients.contains_key("Y"));
         assert!(plan.gradients.contains_key("OUT"));
-        assert!(plan.sdfg.arrays.contains_key(plan.gradient_of("X").unwrap()));
+        assert!(plan
+            .sdfg
+            .arrays
+            .contains_key(plan.gradient_of("X").unwrap()));
         plan.sdfg.validate().unwrap();
     }
 
@@ -1437,9 +1543,9 @@ mod tests {
         let ControlFlow::Sequence(top) = &plan.sdfg.cfg else {
             panic!()
         };
-        let reversed = top[plan.backward_start_index..].iter().any(|cf| {
-            matches!(cf, ControlFlow::Loop(l) if l.step == SymExpr::int(-1))
-        });
+        let reversed = top[plan.backward_start_index..]
+            .iter()
+            .any(|cf| matches!(cf, ControlFlow::Loop(l) if l.step == SymExpr::int(-1)));
         assert!(reversed, "backward half must contain a reversed loop");
     }
 
@@ -1454,7 +1560,10 @@ mod tests {
         b.add_scalar("OUT").unwrap();
         b.branch(
             CondExpr::Cmp {
-                lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                lhs: CondOperand::Element {
+                    array: "P".into(),
+                    index: vec![SymExpr::int(0)],
+                },
                 op: CmpOp::Gt,
                 rhs: CondOperand::Const(0.0),
             },
@@ -1468,7 +1577,9 @@ mod tests {
         let plan = generate_backward(&fwd, "OUT", &["X"]).unwrap();
         assert!(plan.stored.iter().any(|s| s.starts_with("stored_cond")));
         // Backward half contains a branch on the stored flag.
-        let ControlFlow::Sequence(top) = &plan.sdfg.cfg else { panic!() };
+        let ControlFlow::Sequence(top) = &plan.sdfg.cfg else {
+            panic!()
+        };
         let has_flag_branch = top[plan.backward_start_index..].iter().any(|cf| {
             matches!(cf, ControlFlow::Branch(br) if matches!(br.cond, CondExpr::StoredFlag(_)))
         });

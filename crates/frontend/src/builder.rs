@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use dace_sdfg::{
-    ArrayDesc, BranchRegion, CondExpr, ControlFlow, DataflowGraph, DType, LibraryOp, LoopRegion,
+    ArrayDesc, BranchRegion, CondExpr, ControlFlow, DType, DataflowGraph, LibraryOp, LoopRegion,
     MapScope, Memlet, ScalarExpr, Sdfg, SdfgError, State, SymExpr, Tasklet,
 };
 
@@ -65,7 +65,8 @@ impl ProgramBuilder {
 
     /// Declare a `[1]`-shaped non-transient scalar container.
     pub fn add_scalar(&mut self, name: &str) -> Result<(), SdfgError> {
-        self.sdfg.add_array(name, ArrayDesc::input(vec![SymExpr::int(1)]))
+        self.sdfg
+            .add_array(name, ArrayDesc::input(vec![SymExpr::int(1)]))
     }
 
     /// Number of statements issued so far (used as the "lines of code" proxy
@@ -258,6 +259,7 @@ impl ProgramBuilder {
     }
 
     /// `if cond { then } else { otherwise }`.
+    #[allow(clippy::type_complexity)]
     pub fn branch(
         &mut self,
         cond: CondExpr,
@@ -285,7 +287,12 @@ impl ProgramBuilder {
 
     // ----- lowering -----------------------------------------------------------
 
-    fn lower_elementwise(&mut self, dst: &str, expr: &ArrayExpr, accumulate: bool) -> DataflowGraph {
+    fn lower_elementwise(
+        &mut self,
+        dst: &str,
+        expr: &ArrayExpr,
+        accumulate: bool,
+    ) -> DataflowGraph {
         let dims = self
             .sdfg
             .arrays
@@ -326,10 +333,7 @@ impl ProgramBuilder {
         }
         let map = g.add_map(MapScope {
             params: params.clone(),
-            ranges: dims
-                .iter()
-                .map(|d| (SymExpr::int(0), d.clone()))
-                .collect(),
+            ranges: dims.iter().map(|d| (SymExpr::int(0), d.clone())).collect(),
             body,
             parallel: true,
         });
@@ -445,7 +449,9 @@ fn array_expr_to_scalar(
             ScalarExpr::Input(conn)
         }
         ArrayExpr::Scalar(v) => ScalarExpr::Const(*v),
-        ArrayExpr::Unary(op, a) => ScalarExpr::Un(*op, Box::new(array_expr_to_scalar(a, _idx, renames))),
+        ArrayExpr::Unary(op, a) => {
+            ScalarExpr::Un(*op, Box::new(array_expr_to_scalar(a, _idx, renames)))
+        }
         ArrayExpr::Binary(op, a, b) => ScalarExpr::Bin(
             *op,
             Box::new(array_expr_to_scalar(a, _idx, renames)),
@@ -456,7 +462,10 @@ fn array_expr_to_scalar(
 
 /// Convert an element expression into a tasklet scalar expression given the
 /// connector assignment for each distinct element read.
-fn elem_expr_to_scalar(expr: &ElemExpr, connectors: &[(String, Vec<SymExpr>, String)]) -> ScalarExpr {
+fn elem_expr_to_scalar(
+    expr: &ElemExpr,
+    connectors: &[(String, Vec<SymExpr>, String)],
+) -> ScalarExpr {
     match expr {
         ElemExpr::Const(v) => ScalarExpr::Const(*v),
         ElemExpr::Iter(name) => ScalarExpr::Iter(name.clone()),
@@ -495,11 +504,24 @@ mod tests {
         b.add_input("X", vec![n.clone()]).unwrap();
         b.add_input("Y", vec![n.clone()]).unwrap();
         b.add_input("Z", vec![n.clone()]).unwrap();
-        b.assign("Z", ArrayExpr::a("X").mul(ArrayExpr::a("Y")).add(ArrayExpr::s(1.0)));
+        b.assign(
+            "Z",
+            ArrayExpr::a("X")
+                .mul(ArrayExpr::a("Y"))
+                .add(ArrayExpr::s(1.0)),
+        );
         let sdfg = b.build().unwrap();
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
-        ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap()).unwrap();
-        ex.set_input("Y", Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[4]).unwrap()).unwrap();
+        ex.set_input(
+            "X",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
+        )
+        .unwrap();
+        ex.set_input(
+            "Y",
+            Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[4]).unwrap(),
+        )
+        .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Z").unwrap().data(), &[6.0, 13.0, 22.0, 33.0]);
     }
@@ -558,7 +580,11 @@ mod tests {
         });
         let sdfg = b.build().unwrap();
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
-        ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap()).unwrap();
+        ex.set_input(
+            "X",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
+        )
+        .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("OUT").unwrap().data()[0], 30.0);
     }
@@ -579,7 +605,11 @@ mod tests {
         );
         let sdfg = b.build().unwrap();
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
-        ex.set_input("X", Tensor::from_vec(vec![1.0, 3.0, 6.0, 10.0], &[4]).unwrap()).unwrap();
+        ex.set_input(
+            "X",
+            Tensor::from_vec(vec![1.0, 3.0, 6.0, 10.0], &[4]).unwrap(),
+        )
+        .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data(), &[2.0, 3.0, 4.0, 0.0]);
     }
@@ -606,7 +636,10 @@ mod tests {
         b.add_scalar("Y").unwrap();
         b.branch(
             CondExpr::Cmp {
-                lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                lhs: CondOperand::Element {
+                    array: "P".into(),
+                    index: vec![SymExpr::int(0)],
+                },
                 op: CmpOp::Gt,
                 rhs: CondOperand::Const(0.0),
             },
@@ -617,7 +650,8 @@ mod tests {
         );
         let sdfg = b.build().unwrap();
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("P", Tensor::from_vec(vec![-1.0], &[1]).unwrap()).unwrap();
+        ex.set_input("P", Tensor::from_vec(vec![-1.0], &[1]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 2.0);
     }
@@ -636,9 +670,10 @@ mod tests {
             b.accumulate_element("OUT", vec![SymExpr::int(0)], elem("T", vec![i.clone()]));
         });
         let sdfg = b.build().unwrap();
-        assert_eq!(sdfg.arrays["T"].transient, true);
+        assert!(sdfg.arrays["T"].transient);
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 3)])).unwrap();
-        ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap()).unwrap();
+        ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("OUT").unwrap().data()[0], 12.0);
     }

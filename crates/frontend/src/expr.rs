@@ -21,6 +21,9 @@ pub enum ArrayExpr {
     Binary(BinOp, Box<ArrayExpr>, Box<ArrayExpr>),
 }
 
+// By-value `add`/`sub`/`mul`/`div`/`neg` builders are the DSL surface, not
+// operator-trait candidates (they build IR nodes, the receiver is consumed).
+#[allow(clippy::should_implement_trait)]
 impl ArrayExpr {
     /// Reference an array by name.
     pub fn a(name: impl Into<String>) -> Self {
@@ -157,6 +160,7 @@ pub fn iter_val(name: impl Into<String>) -> ElemExpr {
     ElemExpr::Iter(name.into())
 }
 
+#[allow(clippy::should_implement_trait)]
 impl ElemExpr {
     /// `self + other`
     pub fn add(self, other: ElemExpr) -> Self {
@@ -270,7 +274,10 @@ mod tests {
 
     #[test]
     fn array_expr_collects_references() {
-        let e = ArrayExpr::a("A").mul(ArrayExpr::a("B")).add(ArrayExpr::a("A")).sin();
+        let e = ArrayExpr::a("A")
+            .mul(ArrayExpr::a("B"))
+            .add(ArrayExpr::a("A"))
+            .sin();
         assert_eq!(e.arrays(), vec!["A".to_string(), "B".to_string()]);
     }
 
@@ -288,7 +295,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let e = lit(2.0).mul(iter_val("i")).add(elem("X", vec![SymExpr::int(0)]).exp());
+        let e = lit(2.0)
+            .mul(iter_val("i"))
+            .add(elem("X", vec![SymExpr::int(0)]).exp());
         assert_eq!(e.element_reads().len(), 1);
     }
 }

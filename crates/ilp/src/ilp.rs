@@ -264,7 +264,9 @@ mod tests {
         // exhaustive enumeration.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (u32::MAX as f64)) * 2.0 - 1.0
         };
         for _case in 0..20 {
@@ -307,7 +309,11 @@ mod tests {
         ilp.add_le_constraint(vec![50.0, 50.0, 50.0], 100.0);
         let sol = ilp.solve();
         assert_eq!(sol.status, IlpStatus::Optimal);
-        assert_eq!(sol.values, vec![0.0, 1.0, 1.0], "store A1, A2; recompute A0");
+        assert_eq!(
+            sol.values,
+            vec![0.0, 1.0, 1.0],
+            "store A1, A2; recompute A0"
+        );
     }
 
     #[test]

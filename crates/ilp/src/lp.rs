@@ -218,6 +218,8 @@ impl LpProblem {
             for i in 0..m {
                 if i != leave && tab[i][enter].abs() > 1e-12 {
                     let factor = tab[i][enter];
+                    // Index loop: rows `i` and `leave` alias the same matrix.
+                    #[allow(clippy::needless_range_loop)]
                     for j in 0..=total_cols {
                         tab[i][j] -= factor * tab[leave][j];
                     }

@@ -230,7 +230,9 @@ impl Context {
                     add(*a, grad_out.mul(&va).unwrap(), &mut adjoints);
                 }
                 Prim::Relu(a) => {
-                    let va = tape.nodes[*a].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    let va = tape.nodes[*a]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                     add(*a, grad_out.mul(&va).unwrap(), &mut adjoints);
                 }
                 Prim::Sigmoid(a) => {
@@ -249,14 +251,26 @@ impl Context {
                 Prim::MatMul(a, b) => {
                     let va = tape.nodes[*a].value.clone();
                     let vb = tape.nodes[*b].value.clone();
-                    add(*a, grad_out.matmul(&vb.transpose().unwrap()).unwrap(), &mut adjoints);
-                    add(*b, va.transpose().unwrap().matmul(&grad_out).unwrap(), &mut adjoints);
+                    add(
+                        *a,
+                        grad_out.matmul(&vb.transpose().unwrap()).unwrap(),
+                        &mut adjoints,
+                    );
+                    add(
+                        *b,
+                        va.transpose().unwrap().matmul(&grad_out).unwrap(),
+                        &mut adjoints,
+                    );
                 }
                 Prim::MatVec(a, x) => {
                     let va = tape.nodes[*a].value.clone();
                     let vx = tape.nodes[*x].value.clone();
                     add(*a, grad_out.outer(&vx).unwrap(), &mut adjoints);
-                    add(*x, va.transpose().unwrap().matvec(&grad_out).unwrap(), &mut adjoints);
+                    add(
+                        *x,
+                        va.transpose().unwrap().matvec(&grad_out).unwrap(),
+                        &mut adjoints,
+                    );
                 }
                 Prim::Transpose(a) => {
                     add(*a, grad_out.transpose().unwrap(), &mut adjoints);
@@ -334,7 +348,12 @@ impl Var {
         self.tape.borrow().nodes[self.index].value.shape().to_vec()
     }
 
-    fn binary(&self, other: &Var, prim: fn(usize, usize) -> Prim, f: impl Fn(&Tensor, &Tensor) -> Tensor) -> Var {
+    fn binary(
+        &self,
+        other: &Var,
+        prim: fn(usize, usize) -> Prim,
+        f: impl Fn(&Tensor, &Tensor) -> Tensor,
+    ) -> Var {
         let value = f(&self.value(), &other.value());
         self.ctx().record(prim(self.index, other.index), value)
     }
@@ -442,7 +461,9 @@ impl Var {
     /// the patch written at `start` (immutability: the original is untouched).
     pub fn dynamic_update_slice(&self, patch: &Var, start: &[usize]) -> Var {
         let value = self.value();
-        let out = value.update_slice(start, &patch.value()).expect("in bounds");
+        let out = value
+            .update_slice(start, &patch.value())
+            .expect("in bounds");
         {
             let mut tape = self.tape.borrow_mut();
             tape.materializations += 1;
@@ -546,7 +567,11 @@ mod tests {
         let x = ctx.input(uniform(&[4], 6));
         let before = ctx.tape_len();
         let y = ctx.fori_loop(0, 10, x.clone(), |_, c| c.scale(1.1));
-        assert_eq!(ctx.tape_len(), before + 10, "store-all: one node per iteration");
+        assert_eq!(
+            ctx.tape_len(),
+            before + 10,
+            "store-all: one node per iteration"
+        );
         let out = y.sum();
         let grads = ctx.grad(&out, &[&x]);
         let expected = 1.1f64.powi(10);

@@ -30,7 +30,10 @@ pub fn kernels() -> Vec<Box<dyn Kernel>> {
 }
 
 fn sym_map(pairs: &[(&str, usize)]) -> HashMap<String, i64> {
-    pairs.iter().map(|(k, v)| (k.to_string(), *v as i64)).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v as i64))
+        .collect()
 }
 
 fn grad_map(names: &[&str], grads: Vec<Tensor>) -> HashMap<String, Tensor> {
@@ -556,7 +559,10 @@ impl Kernel for Conv2d {
     fn inputs(&self, s: &Sizes) -> HashMap<String, Tensor> {
         [
             ("I".to_string(), uniform_range(&[s.n, s.n], -1.0, 1.0, 42)),
-            ("W".to_string(), uniform_range(&[KSIZE, KSIZE], -1.0, 1.0, 43)),
+            (
+                "W".to_string(),
+                uniform_range(&[KSIZE, KSIZE], -1.0, 1.0, 43),
+            ),
         ]
         .into_iter()
         .collect()
@@ -572,7 +578,10 @@ impl Kernel for Conv2d {
         b.add_input("W", vec![k.clone(), k.clone()]).unwrap();
         b.add_transient(
             "O",
-            vec![n.sub(&SymExpr::int(KSIZE as i64 - 1)), n.sub(&SymExpr::int(KSIZE as i64 - 1))],
+            vec![
+                n.sub(&SymExpr::int(KSIZE as i64 - 1)),
+                n.sub(&SymExpr::int(KSIZE as i64 - 1)),
+            ],
         )
         .unwrap();
         b.add_scalar("OUT").unwrap();

@@ -27,15 +27,16 @@ pub fn kernels() -> Vec<Box<dyn Kernel>> {
 }
 
 fn sym_map(pairs: &[(&str, usize)]) -> HashMap<String, i64> {
-    pairs.iter().map(|(k, v)| (k.to_string(), *v as i64)).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v as i64))
+        .collect()
 }
 
 fn inputs_from(specs: &[(&str, Vec<usize>, u64)]) -> HashMap<String, Tensor> {
     specs
         .iter()
-        .map(|(name, shape, seed)| {
-            (name.to_string(), uniform_range(shape, -1.0, 1.0, *seed))
-        })
+        .map(|(name, shape, seed)| (name.to_string(), uniform_range(shape, -1.0, 1.0, *seed)))
         .collect()
 }
 
@@ -93,9 +94,12 @@ impl Kernel for Atax {
         let grads = ctx.grad(&out, &[&a, &x]);
         GradOutput {
             output: out.value().data()[0],
-            gradients: [("A".to_string(), grads[0].clone()), ("x".to_string(), grads[1].clone())]
-                .into_iter()
-                .collect(),
+            gradients: [
+                ("A".to_string(), grads[0].clone()),
+                ("x".to_string(), grads[1].clone()),
+            ]
+            .into_iter()
+            .collect(),
         }
     }
     fn jax_loc(&self) -> usize {

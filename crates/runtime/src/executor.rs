@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 use rayon::prelude::*;
 
 use dace_sdfg::{
-    CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, LibraryOp, MapScope, Memlet,
-    NodeId, Sdfg, Subset, Tasklet, Wcr,
+    CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, LibraryOp, MapScope, Memlet, NodeId,
+    Sdfg, Subset, Tasklet, Wcr,
 };
 use dace_tensor::Tensor;
 
@@ -383,10 +383,9 @@ impl Executor {
         // Gather inputs by destination connector.
         let mut inputs: HashMap<String, f64> = HashMap::new();
         for e in graph.in_edges(node) {
-            let conn = e
-                .dst_conn
-                .clone()
-                .ok_or_else(|| RuntimeError::Malformed("tasklet in-edge without connector".into()))?;
+            let conn = e.dst_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet in-edge without connector".into())
+            })?;
             let value = self.read_scalar(&e.memlet, bindings)?;
             inputs.insert(conn, value);
         }
@@ -400,10 +399,9 @@ impl Executor {
         }
         // Write outputs via out-edges.
         for e in graph.out_edges(node) {
-            let conn = e
-                .src_conn
-                .clone()
-                .ok_or_else(|| RuntimeError::Malformed("tasklet out-edge without connector".into()))?;
+            let conn = e.src_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet out-edge without connector".into())
+            })?;
             let value = *outputs.get(&conn).ok_or_else(|| {
                 RuntimeError::Malformed(format!(
                     "tasklet `{}` has no assignment for connector `{conn}`",
@@ -415,7 +413,11 @@ impl Executor {
         Ok(())
     }
 
-    fn exec_map(&mut self, map: &MapScope, bindings: &mut HashMap<String, i64>) -> RuntimeResult<()> {
+    fn exec_map(
+        &mut self,
+        map: &MapScope,
+        bindings: &mut HashMap<String, i64>,
+    ) -> RuntimeResult<()> {
         // Evaluate the iteration domain.
         let mut lows = Vec::with_capacity(map.params.len());
         let mut sizes = Vec::with_capacity(map.params.len());
@@ -448,9 +450,8 @@ impl Executor {
             }
         }
 
-        let use_parallel = map.parallel
-            && total >= PARALLEL_MAP_THRESHOLD
-            && body_is_parallel_safe(&map.body);
+        let use_parallel =
+            map.parallel && total >= PARALLEL_MAP_THRESHOLD && body_is_parallel_safe(&map.body);
         if use_parallel {
             self.exec_map_parallel(map, bindings, &lows, &sizes, total)
         } else {
@@ -518,10 +519,9 @@ impl Executor {
         // Gather input data as owned vectors (cheap relative to the loop).
         let mut inputs: Vec<(String, Vec<f64>)> = Vec::new();
         for e in &in_edges {
-            let conn = e
-                .dst_conn
-                .clone()
-                .ok_or_else(|| RuntimeError::Malformed("tasklet in-edge without connector".into()))?;
+            let conn = e.dst_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet in-edge without connector".into())
+            })?;
             let t = self
                 .arrays
                 .get(&e.memlet.data)
@@ -671,9 +671,9 @@ impl Executor {
             inputs.insert(conn, t.clone());
         }
         let get = |conn: &str| -> RuntimeResult<&Tensor> {
-            inputs
-                .get(conn)
-                .ok_or_else(|| RuntimeError::Malformed(format!("library node missing input `{conn}`")))
+            inputs.get(conn).ok_or_else(|| {
+                RuntimeError::Malformed(format!("library node missing input `{conn}`"))
+            })
         };
         // Compute outputs by connector.
         let mut outputs: HashMap<String, Tensor> = HashMap::new();
@@ -707,8 +707,8 @@ impl Executor {
                 RuntimeError::Malformed(format!("library node has no output `{conn}`"))
             })?;
             self.ensure_allocated(&e.memlet.data)?;
-            let accumulate = e.memlet.wcr.is_some()
-                || matches!(op, LibraryOp::SumReduce { accumulate: true });
+            let accumulate =
+                e.memlet.wcr.is_some() || matches!(op, LibraryOp::SumReduce { accumulate: true });
             let dst = self
                 .arrays
                 .get_mut(&e.memlet.data)
@@ -742,7 +742,9 @@ struct BufferedWrite {
 /// element-granularity memlets (the precondition for the snapshot-based
 /// parallel execution).
 fn body_is_parallel_safe(body: &DataflowGraph) -> bool {
-    body.nodes.iter().all(|n| matches!(n, DfNode::Access(_) | DfNode::Tasklet(_)))
+    body.nodes
+        .iter()
+        .all(|n| matches!(n, DfNode::Access(_) | DfNode::Tasklet(_)))
         && body
             .edges
             .iter()
@@ -764,10 +766,9 @@ fn eval_body_readonly(
         };
         let mut inputs: HashMap<String, f64> = HashMap::new();
         for e in body.in_edges(node) {
-            let conn = e
-                .dst_conn
-                .clone()
-                .ok_or_else(|| RuntimeError::Malformed("tasklet in-edge without connector".into()))?;
+            let conn = e.dst_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet in-edge without connector".into())
+            })?;
             let t = arrays
                 .get(&e.memlet.data)
                 .ok_or_else(|| RuntimeError::UnknownArray(e.memlet.data.clone()))?;
@@ -787,14 +788,14 @@ fn eval_body_readonly(
         for (out, expr) in &tasklet.code {
             outputs.insert(
                 out.clone(),
-                expr.eval(&inputs, bindings).map_err(RuntimeError::Tasklet)?,
+                expr.eval(&inputs, bindings)
+                    .map_err(RuntimeError::Tasklet)?,
             );
         }
         for e in body.out_edges(node) {
-            let conn = e
-                .src_conn
-                .clone()
-                .ok_or_else(|| RuntimeError::Malformed("tasklet out-edge without connector".into()))?;
+            let conn = e.src_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet out-edge without connector".into())
+            })?;
             let value = *outputs.get(&conn).ok_or_else(|| {
                 RuntimeError::Malformed(format!("no assignment for connector `{conn}`"))
             })?;
@@ -863,14 +864,28 @@ mod tests {
     fn scale_sdfg(k: f64) -> Sdfg {
         let mut sdfg = Sdfg::new("scale");
         sdfg.add_symbol("N");
-        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
-        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
+        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
         let mut body = DataflowGraph::new();
         let r = body.add_access("X");
         let t = body.add_tasklet(Tasklet::new("scale", "o", E::input("x").mul(E::c(k))));
         let w = body.add_access("Y");
-        body.add_edge(r, None, t, Some("x"), Memlet::element("X", vec![SymExpr::sym("i")]));
-        body.add_edge(t, Some("o"), w, None, Memlet::element("Y", vec![SymExpr::sym("i")]));
+        body.add_edge(
+            r,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("X", vec![SymExpr::sym("i")]),
+        );
+        body.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("Y", vec![SymExpr::sym("i")]),
+        );
         let mut g = DataflowGraph::new();
         let rn = g.add_access("X");
         let m = g.add_map(MapScope {
@@ -882,7 +897,10 @@ mod tests {
         let wn = g.add_access("Y");
         g.add_edge(rn, None, m, None, Memlet::all("X"));
         g.add_edge(m, None, wn, None, Memlet::all("Y"));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::State(sid);
         sdfg
     }
@@ -891,8 +909,11 @@ mod tests {
     fn elementwise_map_executes() {
         let sdfg = scale_sdfg(3.0);
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 5)])).unwrap();
-        ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[5]).unwrap())
-            .unwrap();
+        ex.set_input(
+            "X",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[5]).unwrap(),
+        )
+        .unwrap();
         let report = ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data(), &[3.0, 6.0, 9.0, 12.0, 15.0]);
         assert_eq!(report.map_points, 5);
@@ -908,7 +929,10 @@ mod tests {
         ex.set_input("X", x.clone()).unwrap();
         ex.run().unwrap();
         let expected = x.scale(2.0);
-        assert!(dace_tensor::allclose_default(ex.array("Y").unwrap(), &expected));
+        assert!(dace_tensor::allclose_default(
+            ex.array("Y").unwrap(),
+            &expected
+        ));
     }
 
     #[test]
@@ -949,12 +973,22 @@ mod tests {
     fn sequential_loop_with_accumulation() {
         let mut sdfg = Sdfg::new("loop");
         sdfg.add_symbol("N");
-        sdfg.add_array("ACC", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
+        sdfg.add_array("ACC", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let t = g.add_tasklet(Tasklet::new("acc", "o", E::iter("i")));
         let w = g.add_access("ACC");
-        g.add_edge(t, Some("o"), w, None, Memlet::element("ACC", vec![SymExpr::int(0)]).with_wcr_sum());
-        let sid = sdfg.add_state(State { name: "body".into(), graph: g });
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("ACC", vec![SymExpr::int(0)]).with_wcr_sum(),
+        );
+        let sid = sdfg.add_state(State {
+            name: "body".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::Loop(LoopRegion {
             var: "i".into(),
             start: SymExpr::int(0),
@@ -971,12 +1005,22 @@ mod tests {
     fn reverse_loop_executes_in_descending_order() {
         // ACC = last i written (no WCR): with a reversed loop it ends at 0.
         let mut sdfg = Sdfg::new("revloop");
-        sdfg.add_array("ACC", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
+        sdfg.add_array("ACC", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let t = g.add_tasklet(Tasklet::new("set", "o", E::iter("i")));
         let w = g.add_access("ACC");
-        g.add_edge(t, Some("o"), w, None, Memlet::element("ACC", vec![SymExpr::int(0)]));
-        let sid = sdfg.add_state(State { name: "body".into(), graph: g });
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("ACC", vec![SymExpr::int(0)]),
+        );
+        let sid = sdfg.add_state(State {
+            name: "body".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::Loop(LoopRegion {
             var: "i".into(),
             start: SymExpr::int(9),
@@ -993,20 +1037,37 @@ mod tests {
     fn branch_takes_correct_arm() {
         // if P[0] > 0 { Y[0] = 1 } else { Y[0] = 2 }
         let mut sdfg = Sdfg::new("branch");
-        sdfg.add_array("P", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
-        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
+        sdfg.add_array("P", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
         let mk = |v: f64| {
             let mut g = DataflowGraph::new();
             let t = g.add_tasklet(Tasklet::new("c", "o", E::c(v)));
             let w = g.add_access("Y");
-            g.add_edge(t, Some("o"), w, None, Memlet::element("Y", vec![SymExpr::int(0)]));
+            g.add_edge(
+                t,
+                Some("o"),
+                w,
+                None,
+                Memlet::element("Y", vec![SymExpr::int(0)]),
+            );
             g
         };
-        let then_id = sdfg.add_state(State { name: "t".into(), graph: mk(1.0) });
-        let else_id = sdfg.add_state(State { name: "e".into(), graph: mk(2.0) });
+        let then_id = sdfg.add_state(State {
+            name: "t".into(),
+            graph: mk(1.0),
+        });
+        let else_id = sdfg.add_state(State {
+            name: "e".into(),
+            graph: mk(2.0),
+        });
         sdfg.cfg = ControlFlow::Branch(BranchRegion {
             cond: CondExpr::Cmp {
-                lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                lhs: CondOperand::Element {
+                    array: "P".into(),
+                    index: vec![SymExpr::int(0)],
+                },
                 op: CmpOp::Gt,
                 rhs: CondOperand::Const(0.0),
             },
@@ -1014,12 +1075,14 @@ mod tests {
             else_body: Some(Box::new(ControlFlow::State(else_id))),
         });
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("P", Tensor::from_vec(vec![5.0], &[1]).unwrap()).unwrap();
+        ex.set_input("P", Tensor::from_vec(vec![5.0], &[1]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 1.0);
 
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("P", Tensor::from_vec(vec![-5.0], &[1]).unwrap()).unwrap();
+        ex.set_input("P", Tensor::from_vec(vec![-5.0], &[1]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 2.0);
     }
@@ -1029,7 +1092,11 @@ mod tests {
         let mut sdfg = Sdfg::new("mm");
         sdfg.add_symbol("N");
         for n in ["A", "B", "C"] {
-            sdfg.add_array(n, ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")])).unwrap();
+            sdfg.add_array(
+                n,
+                ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")]),
+            )
+            .unwrap();
         }
         let mut g = DataflowGraph::new();
         let a = g.add_access("A");
@@ -1039,7 +1106,10 @@ mod tests {
         g.add_edge(a, None, mm, Some("A"), Memlet::all("A"));
         g.add_edge(b, None, mm, Some("B"), Memlet::all("B"));
         g.add_edge(mm, Some("C"), c, None, Memlet::all("C"));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::State(sid);
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
         let a_t = dace_tensor::random::uniform(&[4, 4], 3);
@@ -1058,15 +1128,20 @@ mod tests {
     fn sum_reduce_library_node() {
         let mut sdfg = Sdfg::new("sum");
         sdfg.add_symbol("N");
-        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
-        sdfg.add_array("S", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
+        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
+        sdfg.add_array("S", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let a = g.add_access("A");
         let r = g.add_library(LibraryOp::SumReduce { accumulate: false });
         let s = g.add_access("S");
         g.add_edge(a, None, r, Some("IN"), Memlet::all("A"));
         g.add_edge(r, Some("OUT"), s, None, Memlet::all("S"));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::State(sid);
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 6)])).unwrap();
         ex.set_input("A", Tensor::ones(&[6])).unwrap();
@@ -1079,16 +1154,31 @@ mod tests {
         // X -> T (transient) -> Y; free T after the state.
         let mut sdfg = Sdfg::new("transient");
         sdfg.add_symbol("N");
-        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
-        sdfg.add_array("T", ArrayDesc::transient(vec![SymExpr::sym("N")])).unwrap();
-        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
+        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
+        sdfg.add_array("T", ArrayDesc::transient(vec![SymExpr::sym("N")]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
         let mk = |src: &str, dst: &str| {
             let mut body = DataflowGraph::new();
             let r = body.add_access(src);
             let t = body.add_tasklet(Tasklet::new("x2", "o", E::input("x").mul(E::c(2.0))));
             let w = body.add_access(dst);
-            body.add_edge(r, None, t, Some("x"), Memlet::element(src, vec![SymExpr::sym("i")]));
-            body.add_edge(t, Some("o"), w, None, Memlet::element(dst, vec![SymExpr::sym("i")]));
+            body.add_edge(
+                r,
+                None,
+                t,
+                Some("x"),
+                Memlet::element(src, vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                t,
+                Some("o"),
+                w,
+                None,
+                Memlet::element(dst, vec![SymExpr::sym("i")]),
+            );
             let mut g = DataflowGraph::new();
             let rn = g.add_access(src);
             let m = g.add_map(MapScope {
@@ -1102,8 +1192,14 @@ mod tests {
             g.add_edge(m, None, wn, None, Memlet::all(dst));
             g
         };
-        let s0 = sdfg.add_state(State { name: "s0".into(), graph: mk("X", "T") });
-        let s1 = sdfg.add_state(State { name: "s1".into(), graph: mk("T", "Y") });
+        let s0 = sdfg.add_state(State {
+            name: "s0".into(),
+            graph: mk("X", "T"),
+        });
+        let s1 = sdfg.add_state(State {
+            name: "s1".into(),
+            graph: mk("T", "Y"),
+        });
         sdfg.cfg = ControlFlow::Sequence(vec![ControlFlow::State(s0), ControlFlow::State(s1)]);
 
         let mut hints = HashMap::new();
@@ -1123,24 +1219,37 @@ mod tests {
     #[test]
     fn stored_flag_condition() {
         let mut sdfg = Sdfg::new("flag");
-        sdfg.add_array("F", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
-        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)])).unwrap();
+        sdfg.add_array("F", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let t = g.add_tasklet(Tasklet::new("one", "o", E::c(1.0)));
         let w = g.add_access("Y");
-        g.add_edge(t, Some("o"), w, None, Memlet::element("Y", vec![SymExpr::int(0)]));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("Y", vec![SymExpr::int(0)]),
+        );
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::Branch(BranchRegion {
             cond: CondExpr::StoredFlag("F".into()),
             then_body: Box::new(ControlFlow::State(sid)),
             else_body: None,
         });
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("F", Tensor::from_vec(vec![0.0], &[1]).unwrap()).unwrap();
+        ex.set_input("F", Tensor::from_vec(vec![0.0], &[1]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 0.0);
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("F", Tensor::from_vec(vec![1.0], &[1]).unwrap()).unwrap();
+        ex.set_input("F", Tensor::from_vec(vec![1.0], &[1]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 1.0);
     }
@@ -1151,7 +1260,8 @@ mod tests {
         let mut sdfg = Sdfg::new("jacobi_inplace");
         sdfg.add_symbol("N");
         sdfg.add_symbol("T");
-        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
+        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let r = g.add_access("A");
         let t = g.add_tasklet(Tasklet::new(
@@ -1163,11 +1273,38 @@ mod tests {
                 .div(E::c(3.0)),
         ));
         let w = g.add_access("A");
-        g.add_edge(r, None, t, Some("l"), Memlet::element("A", vec![SymExpr::sym("i").sub(&SymExpr::int(1))]));
-        g.add_edge(r, None, t, Some("c"), Memlet::element("A", vec![SymExpr::sym("i")]));
-        g.add_edge(r, None, t, Some("r"), Memlet::element("A", vec![SymExpr::sym("i").add_int(1)]));
-        g.add_edge(t, Some("o"), w, None, Memlet::element("A", vec![SymExpr::sym("i")]));
-        let sid = sdfg.add_state(State { name: "body".into(), graph: g });
+        g.add_edge(
+            r,
+            None,
+            t,
+            Some("l"),
+            Memlet::element("A", vec![SymExpr::sym("i").sub(&SymExpr::int(1))]),
+        );
+        g.add_edge(
+            r,
+            None,
+            t,
+            Some("c"),
+            Memlet::element("A", vec![SymExpr::sym("i")]),
+        );
+        g.add_edge(
+            r,
+            None,
+            t,
+            Some("r"),
+            Memlet::element("A", vec![SymExpr::sym("i").add_int(1)]),
+        );
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("A", vec![SymExpr::sym("i")]),
+        );
+        let sid = sdfg.add_state(State {
+            name: "body".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::Loop(LoopRegion {
             var: "ts".into(),
             start: SymExpr::int(0),
@@ -1182,12 +1319,15 @@ mod tests {
             })),
         });
         let mut ex = Executor::new(&sdfg, &symbols(&[("N", 6), ("T", 2)])).unwrap();
-        ex.set_input("A", Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &[6]).unwrap())
-            .unwrap();
+        ex.set_input(
+            "A",
+            Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &[6]).unwrap(),
+        )
+        .unwrap();
         let report = ex.run().unwrap();
         assert_eq!(report.state_executions, 8);
         // Reference: straightforward Rust implementation.
-        let mut a = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
         for _ in 0..2 {
             for i in 1..5 {
                 a[i] = (a[i - 1] + a[i] + a[i + 1]) / 3.0;
@@ -1202,15 +1342,32 @@ mod tests {
     #[test]
     fn out_of_bounds_index_is_reported() {
         let mut sdfg = Sdfg::new("oob");
-        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::int(2)])).unwrap();
-        sdfg.add_array("B", ArrayDesc::input(vec![SymExpr::int(2)])).unwrap();
+        sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::int(2)]))
+            .unwrap();
+        sdfg.add_array("B", ArrayDesc::input(vec![SymExpr::int(2)]))
+            .unwrap();
         let mut g = DataflowGraph::new();
         let r = g.add_access("A");
         let t = g.add_tasklet(Tasklet::new("id", "o", E::input("x")));
         let w = g.add_access("B");
-        g.add_edge(r, None, t, Some("x"), Memlet::element("A", vec![SymExpr::int(5)]));
-        g.add_edge(t, Some("o"), w, None, Memlet::element("B", vec![SymExpr::int(0)]));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        g.add_edge(
+            r,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("A", vec![SymExpr::int(5)]),
+        );
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("B", vec![SymExpr::int(0)]),
+        );
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::State(sid);
         let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("A", Tensor::zeros(&[2])).unwrap();

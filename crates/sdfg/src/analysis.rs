@@ -165,12 +165,16 @@ pub fn is_full_overwrite(subset: &Subset, desc: &ArrayDesc, wcr: bool) -> bool {
     if subset.0.len() != desc.shape.len() {
         return false;
     }
-    subset.0.iter().zip(desc.shape.iter()).all(|(r, dim)| match r {
-        IndexRange::Range { start, end } => {
-            start.simplified().is_const(0) && end.simplified() == dim.simplified()
-        }
-        IndexRange::Index(_) => dim.simplified().is_const(1),
-    })
+    subset
+        .0
+        .iter()
+        .zip(desc.shape.iter())
+        .all(|(r, dim)| match r {
+            IndexRange::Range { start, end } => {
+                start.simplified().is_const(0) && end.simplified() == dim.simplified()
+            }
+            IndexRange::Index(_) => dim.simplified().is_const(1),
+        })
 }
 
 /// Per-state classification of how each array is accessed, used by the AD
@@ -214,10 +218,9 @@ pub fn sdfg_flop_estimate(sdfg: &Sdfg, bindings: &HashMap<String, i64>) -> f64 {
 fn cfg_flops(sdfg: &Sdfg, cfg: &ControlFlow, bindings: &HashMap<String, i64>) -> f64 {
     match cfg {
         ControlFlow::State(id) => sdfg.states[*id].graph.flop_estimate(bindings),
-        ControlFlow::Sequence(children) => children
-            .iter()
-            .map(|c| cfg_flops(sdfg, c, bindings))
-            .sum(),
+        ControlFlow::Sequence(children) => {
+            children.iter().map(|c| cfg_flops(sdfg, c, bindings)).sum()
+        }
         ControlFlow::Loop(l) => {
             let start = l.start.eval(bindings).unwrap_or(0);
             let end = l.end.eval(bindings).unwrap_or(0);
@@ -301,8 +304,20 @@ mod tests {
             let r = body.add_access(src);
             let t = body.add_tasklet(Tasklet::new("scale", "o", E::input("x").mul(E::c(k))));
             let w = body.add_access(dst);
-            body.add_edge(r, None, t, Some("x"), Memlet::element(src, vec![SymExpr::sym("i")]));
-            body.add_edge(t, Some("o"), w, None, Memlet::element(dst, vec![SymExpr::sym("i")]));
+            body.add_edge(
+                r,
+                None,
+                t,
+                Some("x"),
+                Memlet::element(src, vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                t,
+                Some("o"),
+                w,
+                None,
+                Memlet::element(dst, vec![SymExpr::sym("i")]),
+            );
             let src_node = s1.add_access(src);
             let map = s1.add_map(MapScope {
                 params: vec!["i".into()],
@@ -326,7 +341,13 @@ mod tests {
             let c = body.add_access("C");
             let t = body.add_tasklet(Tasklet::new("acc", "o", E::input("c")));
             let e = body.add_access("E");
-            body.add_edge(c, None, t, Some("c"), Memlet::element("C", vec![SymExpr::sym("i")]));
+            body.add_edge(
+                c,
+                None,
+                t,
+                Some("c"),
+                Memlet::element("C", vec![SymExpr::sym("i")]),
+            );
             body.add_edge(
                 t,
                 Some("o"),
@@ -352,11 +373,26 @@ mod tests {
             let t = body.add_tasklet(Tasklet::new(
                 "sin_add",
                 "o",
-                E::un(crate::scalar_expr::UnOp::Sin, E::input("a").add(E::input("b"))),
+                E::un(
+                    crate::scalar_expr::UnOp::Sin,
+                    E::input("a").add(E::input("b")),
+                ),
             ));
             let o = body.add_access("O");
-            body.add_edge(a, None, t, Some("a"), Memlet::element("A", vec![SymExpr::sym("i")]));
-            body.add_edge(b, None, t, Some("b"), Memlet::element("B", vec![SymExpr::sym("i")]));
+            body.add_edge(
+                a,
+                None,
+                t,
+                Some("a"),
+                Memlet::element("A", vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                b,
+                None,
+                t,
+                Some("b"),
+                Memlet::element("B", vec![SymExpr::sym("i")]),
+            );
             body.add_edge(
                 t,
                 Some("o"),
@@ -446,10 +482,14 @@ mod tests {
     #[test]
     fn branch_over_approximates_and_tracks_condition() {
         let mut sdfg = Sdfg::new("branchy");
-        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
-        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
-        sdfg.add_array("O", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
-        sdfg.add_array("P", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
+        sdfg.add_array("O", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
+        sdfg.add_array("P", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
 
         // then: O = X * 2 ; else: O = Y * 3
         let build = |src: &str| {
@@ -458,8 +498,20 @@ mod tests {
             let r = body.add_access(src);
             let t = body.add_tasklet(Tasklet::new("s", "o", E::input("x").mul(E::c(2.0))));
             let w = body.add_access("O");
-            body.add_edge(r, None, t, Some("x"), Memlet::element(src, vec![SymExpr::sym("i")]));
-            body.add_edge(t, Some("o"), w, None, Memlet::element("O", vec![SymExpr::sym("i")]));
+            body.add_edge(
+                r,
+                None,
+                t,
+                Some("x"),
+                Memlet::element(src, vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                t,
+                Some("o"),
+                w,
+                None,
+                Memlet::element("O", vec![SymExpr::sym("i")]),
+            );
             let rn = g.add_access(src);
             let m = g.add_map(MapScope {
                 params: vec!["i".into()],
@@ -472,11 +524,20 @@ mod tests {
             g.add_edge(m, None, wn, None, Memlet::all("O"));
             g
         };
-        let then_id = sdfg.add_state(State { name: "then".into(), graph: build("X") });
-        let else_id = sdfg.add_state(State { name: "else".into(), graph: build("Y") });
+        let then_id = sdfg.add_state(State {
+            name: "then".into(),
+            graph: build("X"),
+        });
+        let else_id = sdfg.add_state(State {
+            name: "else".into(),
+            graph: build("Y"),
+        });
         sdfg.cfg = ControlFlow::Branch(BranchRegion {
             cond: CondExpr::Cmp {
-                lhs: CondOperand::Element { array: "P".into(), index: vec![SymExpr::int(0)] },
+                lhs: CondOperand::Element {
+                    array: "P".into(),
+                    index: vec![SymExpr::int(0)],
+                },
                 op: CmpOp::Gt,
                 rhs: CondOperand::Const(0.0),
             },
@@ -547,7 +608,12 @@ mod tests {
             10
         );
         assert_eq!(
-            loop_trip_count(&SymExpr::int(9), &SymExpr::int(-1), &SymExpr::int(-1), &bind),
+            loop_trip_count(
+                &SymExpr::int(9),
+                &SymExpr::int(-1),
+                &SymExpr::int(-1),
+                &bind
+            ),
             10
         );
         assert_eq!(
@@ -565,8 +631,11 @@ mod tests {
         let mut sdfg = Sdfg::new("mm");
         sdfg.add_symbol("N");
         for n in ["A", "B", "C"] {
-            sdfg.add_array(n, ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")]))
-                .unwrap();
+            sdfg.add_array(
+                n,
+                ArrayDesc::input(vec![SymExpr::sym("N"), SymExpr::sym("N")]),
+            )
+            .unwrap();
         }
         let mut g = DataflowGraph::new();
         let a = g.add_access("A");
@@ -576,7 +645,10 @@ mod tests {
         g.add_edge(a, None, mm, Some("A"), Memlet::all("A"));
         g.add_edge(b, None, mm, Some("B"), Memlet::all("B"));
         g.add_edge(mm, Some("C"), c, None, Memlet::all("C"));
-        let sid = sdfg.add_state(State { name: "s".into(), graph: g });
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
         sdfg.cfg = ControlFlow::State(sid);
         let ccs = compute_ccs(&sdfg, "C");
         assert_eq!(ccs.nodes_of(sid).len(), 4);

@@ -312,12 +312,7 @@ impl DataflowGraph {
         total
     }
 
-    fn library_flops(
-        &self,
-        node: NodeId,
-        op: &LibraryOp,
-        bindings: &HashMap<String, i64>,
-    ) -> f64 {
+    fn library_flops(&self, node: NodeId, op: &LibraryOp, bindings: &HashMap<String, i64>) -> f64 {
         // Volume-based estimate from the incoming memlets.
         let in_volume: f64 = self
             .in_edges(node)
@@ -344,8 +339,20 @@ mod tests {
         let a = g.add_access("A");
         let t = g.add_tasklet(Tasklet::new("scale", "out", E::input("a").mul(E::c(2.0))));
         let b = g.add_access("B");
-        g.add_edge(a, None, t, Some("a"), Memlet::element("A", vec![SymExpr::int(0)]));
-        g.add_edge(t, Some("out"), b, None, Memlet::element("B", vec![SymExpr::int(0)]));
+        g.add_edge(
+            a,
+            None,
+            t,
+            Some("a"),
+            Memlet::element("A", vec![SymExpr::int(0)]),
+        );
+        g.add_edge(
+            t,
+            Some("out"),
+            b,
+            None,
+            Memlet::element("B", vec![SymExpr::int(0)]),
+        );
         g
     }
 
@@ -394,8 +401,20 @@ mod tests {
         let src = body.add_access("X");
         let t = body.add_tasklet(Tasklet::new("t", "o", E::input("x")));
         let dst = body.add_access("Y");
-        body.add_edge(src, None, t, Some("x"), Memlet::element("X", vec![SymExpr::sym("i")]));
-        body.add_edge(t, Some("o"), dst, None, Memlet::element("Y", vec![SymExpr::sym("i")]));
+        body.add_edge(
+            src,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("X", vec![SymExpr::sym("i")]),
+        );
+        body.add_edge(
+            t,
+            Some("o"),
+            dst,
+            None,
+            Memlet::element("Y", vec![SymExpr::sym("i")]),
+        );
         let mut g = DataflowGraph::new();
         g.add_map(MapScope {
             params: vec!["i".into()],
@@ -418,8 +437,20 @@ mod tests {
             E::input("x").mul(E::input("x")).add(E::c(1.0)),
         ));
         let dst = body.add_access("Y");
-        body.add_edge(src, None, t, Some("x"), Memlet::element("X", vec![SymExpr::sym("i")]));
-        body.add_edge(t, Some("o"), dst, None, Memlet::element("Y", vec![SymExpr::sym("i")]));
+        body.add_edge(
+            src,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("X", vec![SymExpr::sym("i")]),
+        );
+        body.add_edge(
+            t,
+            Some("o"),
+            dst,
+            None,
+            Memlet::element("Y", vec![SymExpr::sym("i")]),
+        );
         let mut g = DataflowGraph::new();
         g.add_map(MapScope {
             params: vec!["i".into()],

@@ -56,6 +56,9 @@ pub enum ScalarExpr {
     Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
 }
 
+// The DSL deliberately exposes by-value `add`/`sub`/`mul`/`div` builders
+// rather than the std operator traits (tasklet code reads as a chain).
+#[allow(clippy::should_implement_trait)]
 impl ScalarExpr {
     /// Constant expression.
     pub fn c(v: f64) -> Self {
@@ -178,11 +181,7 @@ impl ScalarExpr {
     /// the forward value must be *forwarded* (stored or recomputed) to the
     /// backward pass: non-linear uses are exactly the cases of Fig. 8.
     pub fn is_linear_in(&self, input: &str) -> bool {
-        !self
-            .derivative(input)
-            .simplified()
-            .inputs()
-            .contains(input)
+        !self.derivative(input).simplified().inputs().contains(input)
     }
 
     /// Symbolic derivative with respect to the named input connector.
@@ -206,11 +205,7 @@ impl ScalarExpr {
                     UnOp::Cos => Self::un(UnOp::Neg, Self::un(UnOp::Sin, inner)),
                     UnOp::Exp => Self::un(UnOp::Exp, inner),
                     UnOp::Log => Self::bin(BinOp::Div, Const(1.0), inner),
-                    UnOp::Sqrt => Self::bin(
-                        BinOp::Div,
-                        Const(0.5),
-                        Self::un(UnOp::Sqrt, inner),
-                    ),
+                    UnOp::Sqrt => Self::bin(BinOp::Div, Const(0.5), Self::un(UnOp::Sqrt, inner)),
                     UnOp::Tanh => Self::bin(
                         BinOp::Sub,
                         Const(1.0),
@@ -234,11 +229,7 @@ impl ScalarExpr {
                     ),
                     UnOp::Sigmoid => {
                         let s = Self::un(UnOp::Sigmoid, inner);
-                        Self::bin(
-                            BinOp::Mul,
-                            s.clone(),
-                            Self::bin(BinOp::Sub, Const(1.0), s),
-                        )
+                        Self::bin(BinOp::Mul, s.clone(), Self::bin(BinOp::Sub, Const(1.0), s))
                     }
                 };
                 Self::bin(BinOp::Mul, local, da).simplified()
@@ -272,11 +263,7 @@ impl ScalarExpr {
                         Self::bin(
                             BinOp::Add,
                             Self::bin(BinOp::Mul, db, Self::un(UnOp::Log, a.clone())),
-                            Self::bin(
-                                BinOp::Div,
-                                Self::bin(BinOp::Mul, b.clone(), da),
-                                a.clone(),
-                            ),
+                            Self::bin(BinOp::Div, Self::bin(BinOp::Mul, b.clone(), da), a.clone()),
                         ),
                     ),
                     // Sub-gradients: route the gradient to whichever operand wins.
@@ -353,9 +340,9 @@ impl ScalarExpr {
     pub fn rename_inputs(&self, renames: &HashMap<String, String>) -> ScalarExpr {
         match self {
             ScalarExpr::Const(_) | ScalarExpr::Iter(_) => self.clone(),
-            ScalarExpr::Input(name) => ScalarExpr::Input(
-                renames.get(name).cloned().unwrap_or_else(|| name.clone()),
-            ),
+            ScalarExpr::Input(name) => {
+                ScalarExpr::Input(renames.get(name).cloned().unwrap_or_else(|| name.clone()))
+            }
             ScalarExpr::Un(op, a) => ScalarExpr::Un(*op, Box::new(a.rename_inputs(renames))),
             ScalarExpr::Bin(op, a, b) => ScalarExpr::Bin(
                 *op,
@@ -432,7 +419,9 @@ mod tests {
 
     #[test]
     fn eval_basic() {
-        let e = ScalarExpr::input("x").mul(ScalarExpr::c(2.0)).add(ScalarExpr::c(1.0));
+        let e = ScalarExpr::input("x")
+            .mul(ScalarExpr::c(2.0))
+            .add(ScalarExpr::c(1.0));
         let v = e.eval(&inputs(&[("x", 3.0)]), &HashMap::new()).unwrap();
         assert_eq!(v, 7.0);
     }
@@ -469,11 +458,7 @@ mod tests {
             ScalarExpr::un(UnOp::Exp, ScalarExpr::input("x").mul(ScalarExpr::c(0.5))),
             ScalarExpr::un(UnOp::Tanh, ScalarExpr::input("x")),
             ScalarExpr::un(UnOp::Sigmoid, ScalarExpr::input("x")),
-            ScalarExpr::bin(
-                BinOp::Pow,
-                ScalarExpr::input("x"),
-                ScalarExpr::c(3.0),
-            ),
+            ScalarExpr::bin(BinOp::Pow, ScalarExpr::input("x"), ScalarExpr::c(3.0)),
             ScalarExpr::input("x")
                 .mul(ScalarExpr::input("y"))
                 .add(ScalarExpr::un(UnOp::Log, ScalarExpr::input("x"))),
@@ -485,10 +470,7 @@ mod tests {
                 if !e.inputs().contains(wrt) {
                     continue;
                 }
-                let sym = e
-                    .derivative(wrt)
-                    .eval(&at, &HashMap::new())
-                    .unwrap();
+                let sym = e.derivative(wrt).eval(&at, &HashMap::new()).unwrap();
                 let num = fd(&e, wrt, &at);
                 assert!(
                     (sym - num).abs() < 1e-5,
@@ -500,11 +482,7 @@ mod tests {
 
     #[test]
     fn nonlinearity_detection() {
-        let sq = ScalarExpr::bin(
-            BinOp::Mul,
-            ScalarExpr::input("y"),
-            ScalarExpr::input("y"),
-        );
+        let sq = ScalarExpr::bin(BinOp::Mul, ScalarExpr::input("y"), ScalarExpr::input("y"));
         assert!(!sq.is_linear_in("y"));
         let lin = ScalarExpr::input("y").mul(ScalarExpr::c(2.0));
         assert!(lin.is_linear_in("y"));
@@ -514,11 +492,7 @@ mod tests {
 
     #[test]
     fn max_subgradient_routes_to_winner() {
-        let e = ScalarExpr::bin(
-            BinOp::Max,
-            ScalarExpr::input("x"),
-            ScalarExpr::input("y"),
-        );
+        let e = ScalarExpr::bin(BinOp::Max, ScalarExpr::input("x"), ScalarExpr::input("y"));
         let at = inputs(&[("x", 2.0), ("y", 1.0)]);
         let dx = e.derivative("x").eval(&at, &HashMap::new()).unwrap();
         let dy = e.derivative("y").eval(&at, &HashMap::new()).unwrap();

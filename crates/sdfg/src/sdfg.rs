@@ -467,14 +467,18 @@ mod tests {
     #[test]
     fn duplicate_array_rejected() {
         let mut s = Sdfg::new("p");
-        s.add_array("A", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
-        assert!(s.add_array("A", ArrayDesc::input(vec![SymExpr::int(4)])).is_err());
+        s.add_array("A", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
+        assert!(s
+            .add_array("A", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .is_err());
     }
 
     #[test]
     fn fresh_name_avoids_collisions() {
         let mut s = Sdfg::new("p");
-        s.add_array("grad_A", ArrayDesc::input(vec![SymExpr::int(4)])).unwrap();
+        s.add_array("grad_A", ArrayDesc::input(vec![SymExpr::int(4)]))
+            .unwrap();
         assert_eq!(s.fresh_name("grad_A"), "grad_A_1");
         assert_eq!(s.fresh_name("B"), "B");
     }
@@ -553,7 +557,8 @@ mod tests {
     fn describe_mentions_arrays() {
         let mut s = Sdfg::new("prog");
         s.add_symbol("N");
-        s.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")])).unwrap();
+        s.add_array("A", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
         let d = s.describe();
         assert!(d.contains("prog"));
         assert!(d.contains("A[N]"));

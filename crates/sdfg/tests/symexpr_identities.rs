@@ -1,0 +1,112 @@
+//! Simplification identities for the symbolic expression engine.
+//!
+//! Loop bounds, memlet subsets and tape-size expressions all flow through
+//! `SymExpr::simplified`; a wrong rewrite here silently corrupts the reverse
+//! pass's iteration spaces, so the algebraic identities are pinned as tests.
+
+use std::collections::HashMap;
+
+use dace_sdfg::SymExpr;
+
+fn n() -> SymExpr {
+    SymExpr::sym("N")
+}
+
+fn int(v: i64) -> SymExpr {
+    SymExpr::int(v)
+}
+
+#[test]
+fn additive_and_multiplicative_identities() {
+    assert_eq!(n().add(&int(0)), n());
+    assert_eq!(int(0).add(&n()), n());
+    assert_eq!(n().sub(&int(0)), n());
+    assert_eq!(n().mul(&int(1)), n());
+    assert_eq!(int(1).mul(&n()), n());
+    assert_eq!(n().mul(&int(0)), int(0));
+    assert_eq!(int(0).mul(&n()), int(0));
+}
+
+#[test]
+fn constant_folding() {
+    assert_eq!(int(2).add(&int(3)), int(5));
+    assert_eq!(int(2).sub(&int(3)), int(-1));
+    assert_eq!(int(4).mul(&int(-6)), int(-24));
+    assert!(!n().add_int(2).is_const(0));
+    assert_eq!(int(7).add_int(-7), int(0));
+}
+
+#[test]
+fn self_cancellation() {
+    // N - N simplifies to 0 (used when a reversed range collapses).
+    assert_eq!(n().sub(&n()), int(0));
+}
+
+#[test]
+fn min_max_folding_on_constants() {
+    let min = SymExpr::Min(Box::new(int(3)), Box::new(int(8))).simplified();
+    let max = SymExpr::Max(Box::new(int(3)), Box::new(int(8))).simplified();
+    assert_eq!(min, int(3));
+    assert_eq!(max, int(8));
+}
+
+#[test]
+fn neg_folding() {
+    let e = SymExpr::Neg(Box::new(int(5))).simplified();
+    assert_eq!(e, int(-5));
+    let nn = SymExpr::Neg(Box::new(SymExpr::Neg(Box::new(n())))).simplified();
+    assert_eq!(nn, n());
+}
+
+#[test]
+fn simplification_preserves_value_on_nested_expression() {
+    // ((N + 0) * 1 - (N - N)) * (2 + 3) evaluated at several bindings.
+    let e = n()
+        .add(&int(0))
+        .mul(&int(1))
+        .sub(&n().sub(&n()))
+        .mul(&int(2).add(&int(3)));
+    for v in [-3i64, 0, 1, 17] {
+        let mut b = HashMap::new();
+        b.insert("N".to_string(), v);
+        assert_eq!(e.eval(&b).unwrap(), 5 * v);
+        assert_eq!(e.simplified().eval(&b).unwrap(), 5 * v);
+    }
+}
+
+#[test]
+fn substitution_composes_with_simplification() {
+    // (N - 1) with N := M + 1 must simplify to M.
+    let e = n()
+        .sub(&int(1))
+        .substitute("N", &SymExpr::sym("M").add(&int(1)));
+    let mut b = HashMap::new();
+    b.insert("M".to_string(), 9);
+    assert_eq!(e.eval(&b).unwrap(), 9);
+    assert_eq!(e.simplified().free_symbols().len(), 1);
+}
+
+#[test]
+fn free_symbols_and_references() {
+    let e = n().add(&SymExpr::sym("M")).mul(&n());
+    let syms = e.free_symbols();
+    assert_eq!(syms.len(), 2);
+    assert!(e.references("N") && e.references("M"));
+    assert!(!e.references("K"));
+    assert!(int(4).free_symbols().is_empty());
+}
+
+#[test]
+fn floor_division_and_remainder_follow_python_semantics() {
+    // The SDFG symbol language uses floor division (like Python), not
+    // truncation: -7 // 3 == -3 and -7 % 3 == 2.
+    let div = SymExpr::Div(Box::new(int(-7)), Box::new(int(3))).simplified();
+    let rem = SymExpr::Rem(Box::new(int(-7)), Box::new(int(3))).simplified();
+    assert_eq!(div.eval_const().unwrap(), -3);
+    assert_eq!(rem.eval_const().unwrap(), 2);
+    // Division by zero must surface as an error, not fold away.
+    let bad = SymExpr::Div(Box::new(n()), Box::new(int(0)));
+    let mut b = HashMap::new();
+    b.insert("N".to_string(), 1);
+    assert!(bad.eval(&b).is_err());
+}

@@ -1,0 +1,444 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of proptest this workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`
+//! * range strategies (`-10i32..10`, `0.1f64..3.0`, …), [`strategy::Just`],
+//!   tuple strategies, [`collection::vec`]
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`]
+//!   and [`prop_assume!`] macros
+//! * [`test_runner::ProptestConfig`] (`with_cases`, `#![proptest_config(..)]`)
+//!
+//! Differences from real proptest: sampling is driven by a fixed seed (so a
+//! green run stays green — no flaky CI), there is no shrinking, and
+//! `prop_assume!` skips the current case rather than resampling.  Failure
+//! output includes the case number and the generated inputs' `Debug` where
+//! available via the assertion message.
+
+pub mod strategy {
+    use rand::{Rng, SeedableRng, StdRng};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value` (shrinking-free subset of
+    /// proptest's `Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<F, R>(self, f: F) -> Mapped<Self, R>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> R + 'static,
+        {
+            Mapped {
+                base: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Type-erase into a clonable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy(Rc::new(move |rng| this.sample(rng)))
+        }
+
+        /// Build recursive structures: `recurse` receives a strategy for the
+        /// previous depth level and returns the strategy for one level
+        /// deeper.  `_desired_size`/`_expected_branch_size` are accepted for
+        /// API compatibility; depth alone bounds recursion here, and each
+        /// level mixes in the leaf strategy so sampled sizes stay small.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                let l = leaf.clone();
+                level = BoxedStrategy(Rc::new(move |rng| {
+                    if rng.gen::<f64>() < 0.25 {
+                        l.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                }));
+            }
+            level
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy producing a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Mapped<S: Strategy, R> {
+        base: S,
+        f: Rc<dyn Fn(S::Value) -> R>,
+    }
+
+    impl<S: Strategy + Clone, R> Clone for Mapped<S, R> {
+        fn clone(&self) -> Self {
+            Mapped {
+                base: self.base.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S: Strategy, R> Strategy for Mapped<S, R> {
+        type Value = R;
+        fn sample(&self, rng: &mut StdRng) -> R {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let idx = (rng.gen::<u64>() % self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.gen::<u64>() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // Rounding in `start + x*(end-start)` can land exactly on the
+            // exclusive bound; clamp to keep the half-open contract.
+            let v = self.start + rng.gen::<f64>() * (self.end - self.start);
+            v.min(self.end.next_down())
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            let v = self.start + (rng.gen::<f64>() as f32) * (self.end - self.start);
+            v.min(self.end.next_down())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Fresh deterministic RNG for one property-test function.  The function
+    /// name is folded into the seed so distinct properties explore distinct
+    /// streams.
+    pub fn runner_rng(fn_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in fn_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ 0xDACE_AD00)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::{Rng, StdRng};
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.gen::<u64>() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration (subset of proptest's `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 96 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert inside a property; supports an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property-test functions: each `name(arg in strategy, ...)` runs the
+/// body for `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::strategy::runner_rng(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let __body = move || $body;
+                __body();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(a in -5i64..7, x in 0.25f64..0.75) {
+            prop_assert!((-5..7).contains(&a));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn vec_sizes_and_oneof(v in crate::collection::vec(0i32..3, 2..6), pick in prop_oneof![Just(1u8), Just(9u8)]) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..3).contains(&e)));
+            prop_assert!(pick == 1 || pick == 9);
+        }
+
+        #[test]
+        fn assume_skips(n in 0i64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        use crate::strategy::Strategy;
+
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf out of strategy range");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::strategy::runner_rng("recursive_strategy_terminates");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.sample(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+
+    #[test]
+    fn union_requires_arms() {
+        let u = prop_oneof![Just(3u8)];
+        let mut rng = crate::strategy::runner_rng("union_requires_arms");
+        use crate::strategy::Strategy;
+        assert_eq!(u.sample(&mut rng), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides `StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen` for the
+//! types this workspace samples (`f64`, `u64`, `usize`).  The generator is
+//! xoshiro256++ seeded through splitmix64 — deterministic, high-quality, and
+//! identical across platforms, which is what the seeded NPBench input
+//! generation needs (bit-identical inputs for both AD backends).
+
+/// Trait for seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a uniform value of type `Self` (stand-in for
+/// `rand::distributions::Standard` sampling).
+pub trait UniformSample {
+    /// Draw one value from `rng`.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+/// Trait exposing `gen` (subset of `rand::Rng`).
+pub trait Rng {
+    /// Generate a uniform value of type `T`.
+    fn gen<T: UniformSample>(&mut self) -> T;
+}
+
+/// xoshiro256++ generator, the quality/speed workhorse behind this shim.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        StdRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+}
+
+impl StdRng {
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for StdRng {
+    fn gen<T: UniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for usize {
+    fn sample(rng: &mut StdRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl UniformSample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

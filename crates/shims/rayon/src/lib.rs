@@ -1,0 +1,324 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small subset of rayon's API it actually uses:
+//!
+//! * `(range).into_par_iter().map(f).collect::<C>()`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//!
+//! Unlike a sequential mock, the implementations below genuinely fan work out
+//! across `std::thread::scope` threads (one contiguous block per available
+//! core), preserving item order in collected results.  Call sites guard the
+//! parallel path behind size thresholds, so per-call thread-spawn overhead is
+//! acceptable.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+std::thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.with(std::cell::Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (subset of rayon's API).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` worker threads (0 = number of cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.  Infallible in the shim; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count policy rather than a real worker pool: while
+/// [`ThreadPool::install`] runs, parallel operations started from the calling
+/// thread fan out to at most `num_threads` threads.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread-count limit in effect.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Splits `0..len` into at most `num_threads()` contiguous, non-empty spans.
+fn spans(len: usize) -> Vec<(usize, usize)> {
+    let threads = num_threads().min(len.max(1));
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    (0..len)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(len)))
+        .collect()
+}
+
+/// Parallel iterator over an exact-size index range, produced by
+/// [`IntoParallelIterator::into_par_iter`].
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+/// Conversion into a [`ParRange`]; implemented for `Range<usize>`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl ParRange {
+    /// Map every index through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`]; consumed with [`ParMap::collect`].
+pub struct ParMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Evaluate the map in parallel, preserving index order, then build `C`
+    /// from the ordered items (so `Result<Vec<_>, E>` collection works just
+    /// like with std iterators).
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let len = self.end - self.start;
+        if len == 0 {
+            return std::iter::empty().collect();
+        }
+        let f = &self.f;
+        let start = self.start;
+        let mut blocks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans(len)
+                .into_iter()
+                .map(|(lo, hi)| {
+                    scope.spawn(move || (start + lo..start + hi).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            for h in handles {
+                blocks.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        blocks.into_iter().flatten().collect()
+    }
+}
+
+/// Mutable-slice extension adding [`ParallelSliceMut::par_chunks_mut`].
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.  Chunks are
+    /// distributed to worker threads in contiguous blocks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        if self.slice.is_empty() || self.chunk_size == 0 {
+            return;
+        }
+        let n_chunks = self.slice.len().div_ceil(self.chunk_size);
+        let chunk_size = self.chunk_size;
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            for (lo, hi) in spans(n_chunks) {
+                let split = ((hi - lo) * chunk_size).min(rest.len());
+                let (block, tail) = rest.split_at_mut(split);
+                rest = tail;
+                scope.spawn(move || {
+                    for (k, chunk) in block.chunks_mut(chunk_size).enumerate() {
+                        f((lo + k, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_collects_results() {
+        let ok: Result<Vec<usize>, String> =
+            (0..100).into_par_iter().map(Ok::<usize, String>).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_all_chunks() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i));
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, j / 10);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_serializes() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            let ids: Vec<std::thread::ThreadId> = (0..64)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect();
+            // One worker span means one spawned thread; all items share it.
+            assert!(ids.windows(2).all(|w| w[0] == w[1]));
+            assert_ne!(caller, ids[0], "work still runs on a scoped worker");
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let mut empty: Vec<usize> = vec![];
+        empty.par_chunks_mut(4).enumerate().for_each(|_| panic!());
+    }
+}

@@ -17,7 +17,10 @@ pub enum TensorError {
         rhs: Vec<usize>,
     },
     /// An index is out of bounds for the tensor shape.
-    IndexOutOfBounds { index: Vec<usize>, shape: Vec<usize> },
+    IndexOutOfBounds {
+        index: Vec<usize>,
+        shape: Vec<usize>,
+    },
     /// The tensor does not have the rank required by the operation.
     RankMismatch {
         op: &'static str,
@@ -37,7 +40,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeDataMismatch { expected, got } => {
-                write!(f, "data length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")

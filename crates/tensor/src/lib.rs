@@ -42,7 +42,12 @@ pub fn allclose(a: &Tensor, b: &Tensor, rtol: f64, atol: f64) -> bool {
     a.data()
         .iter()
         .zip(b.data().iter())
-        .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+        // NumPy semantics: non-finite values are close only when exactly
+        // equal (`inf - inf = NaN` would reject equal infinities, while an
+        // infinite `rtol*|y|` tolerance would accept *opposite* ones).
+        .all(|(&x, &y)| {
+            x == y || (x.is_finite() && y.is_finite() && (x - y).abs() <= atol + rtol * y.abs())
+        })
 }
 
 /// Default-tolerance variant of [`allclose`] (`rtol = 1e-5`, `atol = 1e-8`,

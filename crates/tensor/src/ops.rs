@@ -16,6 +16,19 @@ pub enum BinaryOp {
 }
 
 impl BinaryOp {
+    /// Lower-case operation name, used in error reporting.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "add",
+            BinaryOp::Sub => "sub",
+            BinaryOp::Mul => "mul",
+            BinaryOp::Div => "div",
+            BinaryOp::Pow => "pow",
+            BinaryOp::Max => "max",
+            BinaryOp::Min => "min",
+        }
+    }
+
     /// Apply the operation to two scalars.
     #[inline]
     pub fn apply(self, a: f64, b: f64) -> f64 {
@@ -118,7 +131,7 @@ impl Tensor {
 
     /// Element-wise binary operation with a same-shaped tensor.
     pub fn binary(&self, other: &Tensor, op: BinaryOp) -> TensorResult<Tensor> {
-        self.check_same_shape(other, "binary")?;
+        self.check_same_shape(other, op.name())?;
         let data: Vec<f64> = self
             .data()
             .iter()

@@ -11,7 +11,7 @@ impl Tensor {
 
     /// Mean of all elements (0 for empty tensors).
     pub fn mean(&self) -> f64 {
-        if self.len() == 0 {
+        if self.is_empty() {
             0.0
         } else {
             self.sum() / self.len() as f64
@@ -20,7 +20,10 @@ impl Tensor {
 
     /// Maximum element (negative infinity for empty tensors).
     pub fn max_value(&self) -> f64 {
-        self.data().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum element (positive infinity for empty tensors).

@@ -179,8 +179,12 @@ mod tests {
     #[test]
     fn slice_validates_ranges() {
         let t = Tensor::zeros(&[3, 3]);
-        assert!(t.slice(&[DimRange::new(0, 4), DimRange::new(0, 3)]).is_err());
-        assert!(t.slice(&[DimRange::new(2, 1), DimRange::new(0, 3)]).is_err());
+        assert!(t
+            .slice(&[DimRange::new(0, 4), DimRange::new(0, 3)])
+            .is_err());
+        assert!(t
+            .slice(&[DimRange::new(2, 1), DimRange::new(0, 3)])
+            .is_err());
         assert!(t.slice(&[DimRange::new(0, 3)]).is_err());
     }
 

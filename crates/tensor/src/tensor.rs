@@ -24,7 +24,10 @@ pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
 
 /// Number of elements implied by a shape (empty shape = scalar = 1 element).
 pub fn shape_volume(shape: &[usize]) -> usize {
-    shape.iter().product::<usize>().max(if shape.is_empty() { 1 } else { 0 })
+    shape
+        .iter()
+        .product::<usize>()
+        .max(if shape.is_empty() { 1 } else { 0 })
 }
 
 impl Tensor {
@@ -355,10 +358,7 @@ mod tests {
     fn multi_index_iter_covers_all() {
         let t = Tensor::zeros(&[2, 2]);
         let idxs: Vec<_> = t.indices().collect();
-        assert_eq!(
-            idxs,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(idxs, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

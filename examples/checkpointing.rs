@@ -27,7 +27,9 @@ fn listing1() -> Sdfg {
     b.assign("sin2", ArrayExpr::a("A2").sin());
     b.assign(
         "tmp",
-        ArrayExpr::a("sin0").add(ArrayExpr::a("sin1")).add(ArrayExpr::a("sin2")),
+        ArrayExpr::a("sin0")
+            .add(ArrayExpr::a("sin1"))
+            .add(ArrayExpr::a("sin2")),
     );
     b.sum_into("OUT", "tmp", false);
     b.build().unwrap()
@@ -39,8 +41,14 @@ fn main() {
     let mut symbols = HashMap::new();
     symbols.insert("N".to_string(), n as i64);
     let mut inputs = HashMap::new();
-    inputs.insert("C".to_string(), dace_ad_repro::tensor::random::uniform(&[n, n], 7));
-    inputs.insert("D".to_string(), dace_ad_repro::tensor::random::uniform(&[n, n], 8));
+    inputs.insert(
+        "C".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[n, n], 7),
+    );
+    inputs.insert(
+        "D".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[n, n], 8),
+    );
 
     // 1) Store-all baseline.
     let store_all =
@@ -61,7 +69,9 @@ fn main() {
         &["C", "D"],
         &symbols,
         &AdOptions {
-            strategy: CheckpointStrategy::Ilp { memory_limit_bytes: limit },
+            strategy: CheckpointStrategy::Ilp {
+                memory_limit_bytes: limit,
+            },
         },
     )
     .unwrap();

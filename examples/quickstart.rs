@@ -5,8 +5,8 @@
 
 use std::collections::HashMap;
 
-use dace_ad_repro::prelude::*;
 use dace_ad_repro::ad::engine::finite_difference_gradient;
+use dace_ad_repro::prelude::*;
 
 fn main() {
     // OUT = sum(sin(X * Y) + 2 * X)   for X, Y of size N
@@ -31,8 +31,14 @@ fn main() {
     let mut symbols = HashMap::new();
     symbols.insert("N".to_string(), 8i64);
     let mut inputs = HashMap::new();
-    inputs.insert("X".to_string(), dace_ad_repro::tensor::random::uniform(&[8], 1));
-    inputs.insert("Y".to_string(), dace_ad_repro::tensor::random::uniform(&[8], 2));
+    inputs.insert(
+        "X".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[8], 1),
+    );
+    inputs.insert(
+        "Y".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[8], 2),
+    );
 
     // Build the gradient program (store-all) and run it.
     let engine = GradientEngine::new(

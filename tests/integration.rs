@@ -112,7 +112,9 @@ fn ilp_checkpointing_respects_measured_memory_limit() {
     b.assign("S3", ArrayExpr::a("T3").sin());
     b.assign(
         "T4",
-        ArrayExpr::a("S1").add(ArrayExpr::a("S2")).add(ArrayExpr::a("S3")),
+        ArrayExpr::a("S1")
+            .add(ArrayExpr::a("S2"))
+            .add(ArrayExpr::a("S3")),
     );
     b.sum_into("OUT", "T4", false);
     // The sin() sites force T1/T2/T3 to be forwarded to the backward pass;
@@ -126,8 +128,7 @@ fn ilp_checkpointing_respects_measured_memory_limit() {
         dace_ad_repro::tensor::random::uniform(&[32, 32], 5),
     );
 
-    let store =
-        GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+    let store = GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
     let store_res = store.run(&inputs).unwrap();
 
     let limit = store_res.report.peak_bytes - 32 * 32 * 8;
@@ -137,7 +138,9 @@ fn ilp_checkpointing_respects_measured_memory_limit() {
         &["X"],
         &syms,
         &AdOptions {
-            strategy: CheckpointStrategy::Ilp { memory_limit_bytes: limit },
+            strategy: CheckpointStrategy::Ilp {
+                memory_limit_bytes: limit,
+            },
         },
     )
     .unwrap();
