@@ -1,0 +1,262 @@
+//! Record or check perf baselines for the figure kernels.
+//!
+//! Record mode runs every NPBench kernel's DaCe-AD gradient at the chosen
+//! preset and writes one JSON object per kernel to the output file:
+//!
+//! ```text
+//! record_baseline [--preset bench|test] [--reps N] [--out BENCH_baseline.json]
+//! ```
+//!
+//! Compare mode re-measures and exits non-zero when any kernel regressed by
+//! more than `--max-regression` (default 0.25 = 25%) against the stored
+//! `dace_ms`, which is what the CI `bench-smoke` job runs:
+//!
+//! ```text
+//! record_baseline --compare BENCH_baseline.json [--preset ...] [--reps N] \
+//!                 [--max-regression 0.25]
+//! ```
+//!
+//! The JSON is written one kernel per line and parsed with a minimal scanner
+//! (no serde in the offline build); extra keys such as the hand-recorded
+//! `pre_pr_ms` history are preserved by ignoring them.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use npbench::runner::time_dace;
+use npbench::{all_kernels, Preset};
+
+struct Args {
+    preset: Preset,
+    reps: usize,
+    out: Option<String>,
+    compare: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        preset: Preset::Bench,
+        reps: 3,
+        out: None,
+        compare: None,
+        max_regression: 0.25,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("missing value for `{}`", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--preset" => {
+                args.preset = match need(i)?.as_str() {
+                    "bench" => Preset::Bench,
+                    "test" => Preset::Test,
+                    other => return Err(format!("unknown preset `{other}`")),
+                };
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --reps value: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = Some(need(i)?.clone());
+                i += 2;
+            }
+            "--compare" => {
+                args.compare = Some(need(i)?.clone());
+                i += 2;
+            }
+            "--max-regression" => {
+                args.max_regression = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression value: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Measure every kernel, returning `name -> gradient time in ms`.  A kernel
+/// that fails to produce a gradient is a hard error: silently dropping it
+/// would let a broken kernel pass both record and compare modes.
+fn measure(preset: Preset, reps: usize) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut failures = Vec::new();
+    for kernel in all_kernels() {
+        let sizes = kernel.sizes(preset);
+        let inputs = kernel.inputs(&sizes);
+        match time_dace(kernel.as_ref(), &sizes, &inputs, reps) {
+            Ok(t) => {
+                out.insert(kernel.name().to_string(), t.elapsed.as_secs_f64() * 1e3);
+            }
+            Err(e) => {
+                eprintln!("{}: measurement failed: {e}", kernel.name());
+                failures.push(kernel.name().to_string());
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "kernel(s) failed to measure: {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+fn preset_name(p: Preset) -> &'static str {
+    match p {
+        Preset::Bench => "bench",
+        Preset::Test => "test",
+    }
+}
+
+fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"preset\": \"{}\",\n", preset_name(preset)));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str("  \"kernels\": [\n");
+    let n = rows.len();
+    for (i, (name, ms)) in rows.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3} }}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal scanner for the file format above: one kernel object per line
+/// carrying `"name": "..."` and `"dace_ms": <float>`.  Unknown keys on the
+/// same line are ignored.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "\"name\"") else {
+            continue;
+        };
+        let Some(ms) = extract_num(line, "\"dace_ms\"") else {
+            continue;
+        };
+        out.insert(name, ms);
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("record_baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.compare {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("record_baseline: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("record_baseline: no kernels found in `{path}`");
+            return ExitCode::from(2);
+        }
+        let now = match measure(args.preset, args.reps) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("record_baseline: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        for name in now.keys() {
+            if !baseline.contains_key(name) {
+                println!("{name}: not in baseline yet (new kernel?); re-record to include it");
+            }
+        }
+        let mut regressed = 0usize;
+        println!(
+            "{:<12} {:>14} {:>12} {:>8}",
+            "kernel", "baseline [ms]", "now [ms]", "ratio"
+        );
+        for (name, base_ms) in &baseline {
+            let Some(&now_ms) = now.get(name) else {
+                eprintln!("{name}: present in baseline but not measurable now");
+                regressed += 1;
+                continue;
+            };
+            let ratio = now_ms / base_ms.max(1e-9);
+            let flag = if ratio > 1.0 + args.max_regression {
+                regressed += 1;
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!("{name:<12} {base_ms:>14.3} {now_ms:>12.3} {ratio:>7.2}x{flag}");
+        }
+        if regressed > 0 {
+            eprintln!(
+                "record_baseline: {regressed} kernel(s) regressed by more than {:.0}%",
+                args.max_regression * 100.0
+            );
+            return ExitCode::from(1);
+        }
+        println!(
+            "all {} kernels within {:.0}% of baseline",
+            baseline.len(),
+            args.max_regression * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Record mode.
+    let rows = match measure(args.preset, args.reps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("record_baseline: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let rendered = render(args.preset, args.reps, &rows);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("record_baseline: cannot write `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {} kernels to {path}", rows.len());
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,10 +1,14 @@
-//! The SDFG interpreter.
+//! The SDFG interpreter, driven by a compiled execution plan.
 //!
 //! This executor stands in for DaCe's C/OpenMP code generator plus CPU
-//! runtime.  It walks the structured control-flow tree, executes each state's
-//! dataflow graph in topological order, iterates map scopes over their index
-//! domains (optionally in parallel with rayon), dispatches library nodes to
-//! the `dace-tensor` kernels, and applies write-conflict resolutions.
+//! runtime.  Construction lowers the SDFG once into an
+//! [`crate::plan::ExecPlan`] (interned array/symbol ids, precomputed
+//! topological orders, pre-classified memlet subsets, register-compiled
+//! tasklet expressions); `run` then walks the plan, so the hot loops
+//! (sequential maps, the element-wise fast path, and the snapshot-based
+//! parallel path) touch no string keys and perform no per-iteration clones
+//! or allocations.  The parallel path fans out over a persistent rayon
+//! worker pool with one register file per chunk.
 //!
 //! Memory is tracked with [`crate::memory::MemoryTracker`]: non-transient
 //! inputs are counted at start, transients are allocated lazily at first
@@ -17,14 +21,15 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use dace_sdfg::{
-    CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, LibraryOp, MapScope, Memlet, NodeId,
-    Sdfg, Subset, Tasklet, Wcr,
-};
+use dace_sdfg::{CondExpr, CondOperand, LibraryOp, Sdfg, Subset};
 use dace_tensor::Tensor;
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::memory::MemoryTracker;
+use crate::plan::{
+    compile_plan, CIdx, ExecPlan, Layout, PlanAccess, PlanCf, PlanCond, PlanElementwise, PlanGraph,
+    PlanLibrary, PlanMap, PlanNode, PlanOperand, PlanTasklet, SymFile,
+};
 
 /// Execution statistics and instrumentation results.
 #[derive(Clone, Debug, Default)]
@@ -48,31 +53,87 @@ pub struct ExecutionReport {
 /// Minimum number of map points before the parallel (rayon) path is used.
 const PARALLEL_MAP_THRESHOLD: usize = 8192;
 
+/// Map execution path selection.  `Auto` (the default) picks the fastest
+/// applicable path; the forced variants exist so tests and instrumentation
+/// can compare the element-wise, sequential and parallel paths on the same
+/// map and assert identical results and counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MapPath {
+    /// Element-wise fast path if eligible, then parallel above the point
+    /// threshold, otherwise sequential.
+    #[default]
+    Auto,
+    /// Always the general sequential loop.
+    Sequential,
+    /// The snapshot-based parallel path whenever the body permits it
+    /// (ignoring the point threshold); sequential otherwise.
+    Parallel,
+}
+
+/// Scratch buffers reused across tasklet evaluations: the expression slot
+/// array, the floating-point and integer register files, and the per-tasklet
+/// output values.  One `Scratch` lives per executor; the parallel map path
+/// creates one per chunk.
+#[derive(Default)]
+struct Scratch {
+    slots: Vec<f64>,
+    f_regs: Vec<f64>,
+    i_regs: Vec<i64>,
+    outs: Vec<f64>,
+}
+
+/// A buffered element write produced by the parallel map path.
+struct BufferedWrite {
+    array: u32,
+    flat: usize,
+    value: f64,
+    accumulate: bool,
+}
+
+/// Mutable execution state, separated from the immutable plan so the
+/// recursive walkers can borrow both disjointly.
+struct RunState {
+    slab: Vec<Option<Tensor>>,
+    syms: SymFile,
+    tracker: MemoryTracker,
+    report: ExecutionReport,
+    free_hints: Vec<Vec<u32>>,
+    scratch: Scratch,
+    path: MapPath,
+}
+
 /// The SDFG interpreter.
 pub struct Executor {
-    sdfg: Sdfg,
     symbols: HashMap<String, i64>,
-    arrays: HashMap<String, Tensor>,
-    tracker: MemoryTracker,
-    free_hints: HashMap<usize, Vec<String>>,
-    report: ExecutionReport,
+    plan: ExecPlan,
+    st: RunState,
 }
 
 impl Executor {
-    /// Create an executor for an SDFG with concrete symbol values.
+    /// Create an executor for an SDFG with concrete symbol values.  The SDFG
+    /// is lowered into an execution plan here, once; `run` only walks it.
     pub fn new(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Self> {
         for s in &sdfg.symbols {
             if !symbols.contains_key(s) {
                 return Err(RuntimeError::MissingSymbol(s.clone()));
             }
         }
+        let plan = compile_plan(sdfg, symbols);
+        let n_arrays = plan.arrays.names.len();
+        let n_states = plan.states.len();
+        let syms = plan.init_syms.clone();
         Ok(Executor {
-            sdfg: sdfg.clone(),
             symbols: symbols.clone(),
-            arrays: HashMap::new(),
-            tracker: MemoryTracker::new(),
-            free_hints: HashMap::new(),
-            report: ExecutionReport::default(),
+            st: RunState {
+                slab: vec![None; n_arrays],
+                syms,
+                tracker: MemoryTracker::new(),
+                report: ExecutionReport::default(),
+                free_hints: vec![Vec::new(); n_states],
+                scratch: Scratch::default(),
+                path: MapPath::Auto,
+            },
+            plan,
         })
     }
 
@@ -80,42 +141,66 @@ impl Executor {
     /// transient containers are deallocated (used by the AD engine to bound
     /// the footprint of recomputation blocks).
     pub fn with_free_hints(mut self, hints: HashMap<usize, Vec<String>>) -> Self {
-        self.free_hints = hints;
+        let mut resolved = vec![Vec::new(); self.plan.states.len()];
+        for (state, names) in hints {
+            if state < resolved.len() {
+                for name in names {
+                    if let Some(id) = self.plan.arrays.id(&name) {
+                        resolved[state].push(id);
+                    }
+                }
+            }
+        }
+        self.st.free_hints = resolved;
         self
+    }
+
+    /// Force a map execution path (testing/instrumentation knob).
+    pub fn force_map_path(&mut self, path: MapPath) {
+        self.st.path = path;
     }
 
     /// Provide an input (non-transient) array.
     pub fn set_input(&mut self, name: &str, tensor: Tensor) -> RuntimeResult<()> {
-        let desc = self
-            .sdfg
+        let id = self
+            .plan
             .arrays
-            .get(name)
+            .id(name)
             .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
-        let expected = desc.concrete_shape(&self.symbols)?;
-        if expected != tensor.shape() {
+        let layout = self.plan.arrays.layout(id)?;
+        if layout.dims.as_slice() != tensor.shape() {
             return Err(RuntimeError::ShapeMismatch {
                 array: name.to_string(),
-                expected,
+                expected: layout.dims.clone(),
                 got: tensor.shape().to_vec(),
             });
         }
-        self.arrays.insert(name.to_string(), tensor);
+        self.st.slab[id as usize] = Some(tensor);
         Ok(())
     }
 
     /// Access an array after (or before) execution.
     pub fn array(&self, name: &str) -> Option<&Tensor> {
-        self.arrays.get(name)
+        self.plan
+            .arrays
+            .id(name)
+            .and_then(|id| self.st.slab[id as usize].as_ref())
     }
 
     /// Take ownership of all arrays (inputs, outputs and surviving transients).
     pub fn into_arrays(self) -> HashMap<String, Tensor> {
-        self.arrays
+        self.plan
+            .arrays
+            .names
+            .iter()
+            .zip(self.st.slab)
+            .filter_map(|(name, t)| t.map(|t| (name.clone(), t)))
+            .collect()
     }
 
     /// The memory tracker (for inspection in tests and benchmarks).
     pub fn tracker(&self) -> &MemoryTracker {
-        &self.tracker
+        &self.st.tracker
     }
 
     /// Concrete symbol bindings used by this executor.
@@ -126,88 +211,36 @@ impl Executor {
     /// Execute the SDFG.
     pub fn run(&mut self) -> RuntimeResult<ExecutionReport> {
         let start = Instant::now();
-        self.report = ExecutionReport::default();
+        self.st.report = ExecutionReport::default();
 
         // Count and materialise non-transient containers.
-        let names: Vec<String> = self.sdfg.arrays.keys().cloned().collect();
-        for name in names {
-            let desc = self.sdfg.arrays[&name].clone();
-            if !desc.transient {
-                if !self.arrays.contains_key(&name) {
+        for id in 0..self.plan.arrays.names.len() {
+            if !self.plan.arrays.transient[id] {
+                let layout = self.plan.arrays.layout(id as u32)?;
+                if self.st.slab[id].is_none() {
                     // Outputs that were not provided start as zeros.
-                    let shape = desc.concrete_shape(&self.symbols)?;
-                    self.arrays.insert(name.clone(), Tensor::zeros(&shape));
+                    self.st.slab[id] = Some(Tensor::zeros(&layout.dims));
                 }
-                let bytes = desc.size_bytes(&self.symbols)? as usize;
-                self.tracker.alloc(&name, bytes);
+                let bytes = layout.bytes;
+                self.st.tracker.alloc(&self.plan.arrays.names[id], bytes);
             }
         }
 
-        let cfg = self.sdfg.cfg.clone();
-        let mut bindings = self.symbols.clone();
-        self.exec_cfg(&cfg, &mut bindings)?;
+        self.st.syms = self.plan.init_syms.clone();
+        self.st.exec_cfg(&self.plan, &self.plan.cfg)?;
 
-        self.report.elapsed = start.elapsed();
-        self.report.peak_bytes = self.tracker.peak_bytes();
-        self.report.final_bytes = self.tracker.current_bytes();
-        Ok(self.report.clone())
+        self.st.report.elapsed = start.elapsed();
+        self.st.report.peak_bytes = self.st.tracker.peak_bytes();
+        self.st.report.final_bytes = self.st.tracker.current_bytes();
+        Ok(self.st.report.clone())
     }
 
-    fn exec_cfg(
-        &mut self,
-        cfg: &ControlFlow,
-        bindings: &mut HashMap<String, i64>,
-    ) -> RuntimeResult<()> {
-        match cfg {
-            ControlFlow::State(id) => self.exec_state(*id, bindings),
-            ControlFlow::Sequence(children) => {
-                for c in children {
-                    self.exec_cfg(c, bindings)?;
-                }
-                Ok(())
-            }
-            ControlFlow::Loop(l) => {
-                let start = l.start.eval(bindings)?;
-                let end = l.end.eval(bindings)?;
-                let step = l.step.eval(bindings)?;
-                if step == 0 {
-                    return Err(RuntimeError::Malformed(format!(
-                        "loop `{}` has zero step",
-                        l.var
-                    )));
-                }
-                let mut i = start;
-                let previous = bindings.get(&l.var).copied();
-                while (step > 0 && i < end) || (step < 0 && i > end) {
-                    bindings.insert(l.var.clone(), i);
-                    self.exec_cfg(&l.body, bindings)?;
-                    i += step;
-                }
-                // Restore any outer binding of the same iterator name.
-                match previous {
-                    Some(v) => {
-                        bindings.insert(l.var.clone(), v);
-                    }
-                    None => {
-                        bindings.remove(&l.var);
-                    }
-                }
-                Ok(())
-            }
-            ControlFlow::Branch(b) => {
-                let taken = self.eval_cond(&b.cond, bindings)?;
-                if taken {
-                    self.exec_cfg(&b.then_body, bindings)
-                } else if let Some(e) = &b.else_body {
-                    self.exec_cfg(e, bindings)
-                } else {
-                    Ok(())
-                }
-            }
-        }
-    }
-
-    /// Evaluate a control-flow condition.
+    /// Evaluate a control-flow condition against explicit string bindings.
+    ///
+    /// Retained for source compatibility with pre-plan callers of the public
+    /// `Executor` API; internal execution never calls this — it evaluates the
+    /// lowered [`PlanCond`] over the symbol file instead, so changes to
+    /// condition semantics belong in `eval_plan_cond` first.
     pub fn eval_cond(
         &mut self,
         cond: &CondExpr,
@@ -221,10 +254,9 @@ impl Executor {
             }
             CondExpr::Not(inner) => Ok(!self.eval_cond(inner, bindings)?),
             CondExpr::StoredFlag(name) => {
-                self.ensure_allocated(name)?;
+                self.ensure_allocated_by_name(name)?;
                 let t = self
-                    .arrays
-                    .get(name)
+                    .array(name)
                     .ok_or_else(|| RuntimeError::UnknownArray(name.clone()))?;
                 Ok(t.data().first().copied().unwrap_or(0.0) != 0.0)
             }
@@ -240,14 +272,13 @@ impl Executor {
             CondOperand::Const(v) => Ok(*v),
             CondOperand::Sym(e) => Ok(e.eval(bindings)? as f64),
             CondOperand::Element { array, index } => {
-                self.ensure_allocated(array)?;
+                self.ensure_allocated_by_name(array)?;
                 let idx: Vec<i64> = index
                     .iter()
                     .map(|e| e.eval(bindings))
                     .collect::<Result<_, _>>()?;
                 let t = self
-                    .arrays
-                    .get(array)
+                    .array(array)
                     .ok_or_else(|| RuntimeError::UnknownArray(array.clone()))?;
                 let uidx = to_unsigned_index(array, &idx)?;
                 t.at(&uidx).map_err(|_| RuntimeError::BadIndex {
@@ -258,174 +289,243 @@ impl Executor {
         }
     }
 
-    fn exec_state(&mut self, id: usize, bindings: &mut HashMap<String, i64>) -> RuntimeResult<()> {
-        self.report.state_executions += 1;
-        let state = self.sdfg.states[id].clone();
-        self.exec_graph(&state.graph, bindings)?;
-        if let Some(frees) = self.free_hints.get(&id).cloned() {
-            for name in frees {
-                self.tracker.free(&name);
-                self.arrays.remove(&name);
-            }
-        }
-        Ok(())
+    fn ensure_allocated_by_name(&mut self, name: &str) -> RuntimeResult<()> {
+        let id = self
+            .plan
+            .arrays
+            .id(name)
+            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
+        self.st.ensure_allocated(&self.plan, id)
     }
+}
 
-    fn exec_graph(
-        &mut self,
-        graph: &DataflowGraph,
-        bindings: &mut HashMap<String, i64>,
-    ) -> RuntimeResult<()> {
-        let order = graph
-            .topological_order()
-            .ok_or_else(|| RuntimeError::CyclicGraph("<graph>".to_string()))?;
-        for node in order {
-            match &graph.nodes[node] {
-                DfNode::Access(name) => {
-                    // Allocate when the container is written (has in-edges) or
-                    // read (must already exist for non-transients).
-                    self.ensure_allocated(name)?;
-                }
-                DfNode::Tasklet(t) => self.exec_tasklet(graph, node, t, bindings)?,
-                DfNode::MapScope(m) => self.exec_map(m, bindings)?,
-                DfNode::Library(op) => self.exec_library(graph, node, op)?,
-            }
-        }
-        Ok(())
-    }
-
-    fn ensure_allocated(&mut self, name: &str) -> RuntimeResult<()> {
-        if self.arrays.contains_key(name) {
+impl RunState {
+    fn ensure_allocated(&mut self, plan: &ExecPlan, id: u32) -> RuntimeResult<()> {
+        if self.slab[id as usize].is_some() {
             return Ok(());
         }
-        let desc = self
-            .sdfg
-            .arrays
-            .get(name)
-            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?
-            .clone();
-        if !desc.transient {
-            return Err(RuntimeError::MissingInput(name.to_string()));
+        if !plan.arrays.transient[id as usize] {
+            return Err(RuntimeError::MissingInput(
+                plan.arrays.names[id as usize].clone(),
+            ));
         }
-        let shape = desc.concrete_shape(&self.symbols)?;
-        self.arrays.insert(name.to_string(), Tensor::zeros(&shape));
-        let bytes = desc.size_bytes(&self.symbols)? as usize;
-        self.tracker.alloc(name, bytes);
+        let layout = plan.arrays.layout(id)?;
+        self.slab[id as usize] = Some(Tensor::zeros(&layout.dims));
+        self.tracker
+            .alloc(&plan.arrays.names[id as usize], layout.bytes);
         Ok(())
     }
 
-    fn read_scalar(&self, memlet: &Memlet, bindings: &HashMap<String, i64>) -> RuntimeResult<f64> {
-        let t = self
-            .arrays
-            .get(&memlet.data)
-            .ok_or_else(|| RuntimeError::UnknownArray(memlet.data.clone()))?;
-        let subset = &memlet.subset;
-        if subset.is_all() {
-            if t.len() == 1 {
-                return Ok(t.data()[0]);
-            }
-            return Err(RuntimeError::Malformed(format!(
-                "whole-array memlet of `{}` used as a scalar read",
-                memlet.data
-            )));
-        }
-        let idx = subset.eval_indices(bindings)?;
-        let uidx = to_unsigned_index(&memlet.data, &idx)?;
-        t.at(&uidx).map_err(|_| RuntimeError::BadIndex {
-            array: memlet.data.clone(),
-            index: idx,
-        })
+    #[inline]
+    fn idx(&mut self, plan: &ExecPlan, c: &CIdx) -> RuntimeResult<i64> {
+        c.eval(&self.syms, &plan.syms.names, &mut self.scratch.i_regs)
     }
 
-    fn write_scalar(
-        &mut self,
-        memlet: &Memlet,
-        bindings: &HashMap<String, i64>,
-        value: f64,
-    ) -> RuntimeResult<()> {
-        self.ensure_allocated(&memlet.data)?;
-        let t = self
-            .arrays
-            .get_mut(&memlet.data)
-            .ok_or_else(|| RuntimeError::UnknownArray(memlet.data.clone()))?;
-        let target: &mut f64 = if memlet.subset.is_all() {
-            if t.len() == 1 {
-                &mut t.data_mut()[0]
-            } else {
-                return Err(RuntimeError::Malformed(format!(
-                    "whole-array memlet of `{}` used as a scalar write",
-                    memlet.data
-                )));
+    fn exec_cfg(&mut self, plan: &ExecPlan, cf: &PlanCf) -> RuntimeResult<()> {
+        match cf {
+            PlanCf::State(id) => self.exec_state(plan, *id),
+            PlanCf::Seq(children) => {
+                for c in children {
+                    self.exec_cfg(plan, c)?;
+                }
+                Ok(())
             }
-        } else {
-            let idx = memlet.subset.eval_indices(bindings)?;
-            let uidx = to_unsigned_index(&memlet.data, &idx)?;
-            t.at_mut(&uidx).map_err(|_| RuntimeError::BadIndex {
-                array: memlet.data.clone(),
-                index: idx,
-            })?
-        };
-        match memlet.wcr {
-            Some(Wcr::Sum) => *target += value,
-            None => *target = value,
+            PlanCf::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let start = self.idx(plan, start)?;
+                let end = self.idx(plan, end)?;
+                let step = self.idx(plan, step)?;
+                if step == 0 {
+                    return Err(RuntimeError::Malformed(format!(
+                        "loop `{}` has zero step",
+                        plan.syms.names[*var as usize]
+                    )));
+                }
+                let v = *var as usize;
+                let previous = (self.syms.vals[v], self.syms.defined[v]);
+                self.syms.defined[v] = true;
+                let mut i = start;
+                while (step > 0 && i < end) || (step < 0 && i > end) {
+                    self.syms.vals[v] = i;
+                    self.exec_cfg(plan, body)?;
+                    i += step;
+                }
+                // Restore any outer binding of the same iterator name.
+                self.syms.vals[v] = previous.0;
+                self.syms.defined[v] = previous.1;
+                Ok(())
+            }
+            PlanCf::Branch {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval_plan_cond(plan, cond)? {
+                    self.exec_cfg(plan, then_body)
+                } else if let Some(e) = else_body {
+                    self.exec_cfg(plan, e)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn eval_plan_cond(&mut self, plan: &ExecPlan, cond: &PlanCond) -> RuntimeResult<bool> {
+        match cond {
+            PlanCond::Cmp { lhs, op, rhs } => {
+                let a = self.eval_plan_operand(plan, lhs)?;
+                let b = self.eval_plan_operand(plan, rhs)?;
+                Ok(op.apply(a, b))
+            }
+            PlanCond::Not(inner) => Ok(!self.eval_plan_cond(plan, inner)?),
+            PlanCond::StoredFlag(a) => {
+                self.ensure_allocated(plan, *a)?;
+                let t = self.slab[*a as usize].as_ref().expect("just allocated");
+                Ok(t.data().first().copied().unwrap_or(0.0) != 0.0)
+            }
+            PlanCond::Fail(e) => Err(e.clone()),
+        }
+    }
+
+    fn eval_plan_operand(&mut self, plan: &ExecPlan, op: &PlanOperand) -> RuntimeResult<f64> {
+        match op {
+            PlanOperand::Const(v) => Ok(*v),
+            PlanOperand::Sym(c) => Ok(self.idx(plan, c)? as f64),
+            PlanOperand::Element { array, index } => {
+                self.ensure_allocated(plan, *array)?;
+                let RunState {
+                    slab,
+                    syms,
+                    scratch,
+                    ..
+                } = self;
+                let layout = plan.arrays.layout(*array)?;
+                let flat = flat_offset(plan, syms, &mut scratch.i_regs, *array, index, layout)?;
+                Ok(slab[*array as usize]
+                    .as_ref()
+                    .expect("just allocated")
+                    .data()[flat])
+            }
+        }
+    }
+
+    fn exec_state(&mut self, plan: &ExecPlan, id: usize) -> RuntimeResult<()> {
+        self.report.state_executions += 1;
+        self.exec_graph(plan, &plan.states[id])?;
+        for k in 0..self.free_hints[id].len() {
+            let aid = self.free_hints[id][k] as usize;
+            self.tracker.free(&plan.arrays.names[aid]);
+            self.slab[aid] = None;
         }
         Ok(())
     }
 
-    fn exec_tasklet(
-        &mut self,
-        graph: &DataflowGraph,
-        node: NodeId,
-        tasklet: &Tasklet,
-        bindings: &HashMap<String, i64>,
-    ) -> RuntimeResult<()> {
+    fn exec_graph(&mut self, plan: &ExecPlan, g: &PlanGraph) -> RuntimeResult<()> {
+        if let Some(e) = &g.fail {
+            return Err(e.clone());
+        }
+        for &n in &g.order {
+            match &g.nodes[n] {
+                PlanNode::Access(a) => {
+                    // Allocate when the container is written (has in-edges) or
+                    // read (must already exist for non-transients).
+                    self.ensure_allocated(plan, *a)?;
+                }
+                PlanNode::Tasklet(t) => self.exec_tasklet(plan, t)?,
+                PlanNode::Map(m) => self.exec_map(plan, m)?,
+                PlanNode::Library(l) => self.exec_library(plan, l)?,
+                PlanNode::Fail(e) => return Err(e.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_tasklet(&mut self, plan: &ExecPlan, t: &PlanTasklet) -> RuntimeResult<()> {
         self.report.tasklet_invocations += 1;
-        // Gather inputs by destination connector.
-        let mut inputs: HashMap<String, f64> = HashMap::new();
-        for e in graph.in_edges(node) {
-            let conn = e.dst_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("tasklet in-edge without connector".into())
-            })?;
-            let value = self.read_scalar(&e.memlet, bindings)?;
-            inputs.insert(conn, value);
+        {
+            let RunState {
+                slab,
+                syms,
+                scratch,
+                ..
+            } = self;
+            scratch.slots.clear();
+            scratch.slots.resize(t.n_slots, 0.0);
+            for r in &t.reads {
+                let v = read_access(plan, slab, syms, &mut scratch.i_regs, r.array, &r.access)?;
+                scratch.slots[r.slot as usize] = v;
+            }
+            load_iters(plan, syms, &mut scratch.slots, &t.iter_loads)?;
+            scratch.outs.clear();
+            for e in &t.exprs {
+                let v = e.eval(&scratch.slots, &mut scratch.f_regs);
+                scratch.outs.push(v);
+            }
         }
-        // Evaluate assignments.
-        let mut outputs: HashMap<String, f64> = HashMap::new();
-        for (out, expr) in &tasklet.code {
-            let value = expr
-                .eval(&inputs, bindings)
-                .map_err(RuntimeError::Tasklet)?;
-            outputs.insert(out.clone(), value);
-        }
-        // Write outputs via out-edges.
-        for e in graph.out_edges(node) {
-            let conn = e.src_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("tasklet out-edge without connector".into())
-            })?;
-            let value = *outputs.get(&conn).ok_or_else(|| {
-                RuntimeError::Malformed(format!(
-                    "tasklet `{}` has no assignment for connector `{conn}`",
-                    tasklet.label
-                ))
-            })?;
-            self.write_scalar(&e.memlet, bindings, value)?;
+        for w in &t.writes {
+            let value = self.scratch.outs[w.expr as usize];
+            self.write_access(plan, w.array, &w.access, value, w.accumulate)?;
         }
         Ok(())
     }
 
-    fn exec_map(
+    fn write_access(
         &mut self,
-        map: &MapScope,
-        bindings: &mut HashMap<String, i64>,
+        plan: &ExecPlan,
+        array: u32,
+        access: &PlanAccess,
+        value: f64,
+        accumulate: bool,
     ) -> RuntimeResult<()> {
+        self.ensure_allocated(plan, array)?;
+        let RunState {
+            slab,
+            syms,
+            scratch,
+            ..
+        } = self;
+        let flat = match access {
+            PlanAccess::All => {
+                let t = slab[array as usize].as_ref().expect("just allocated");
+                if t.len() != 1 {
+                    return Err(RuntimeError::Malformed(format!(
+                        "whole-array memlet of `{}` used as a scalar write",
+                        plan.arrays.names[array as usize]
+                    )));
+                }
+                0
+            }
+            PlanAccess::Element(idx) => {
+                let layout = plan.arrays.layout(array)?;
+                flat_offset(plan, syms, &mut scratch.i_regs, array, idx, layout)?
+            }
+        };
+        let t = slab[array as usize].as_mut().expect("just allocated");
+        let target = &mut t.data_mut()[flat];
+        if accumulate {
+            *target += value;
+        } else {
+            *target = value;
+        }
+        Ok(())
+    }
+
+    fn exec_map(&mut self, plan: &ExecPlan, m: &PlanMap) -> RuntimeResult<()> {
         // Evaluate the iteration domain.
-        let mut lows = Vec::with_capacity(map.params.len());
-        let mut sizes = Vec::with_capacity(map.params.len());
-        for (start, end) in &map.ranges {
-            let s = start.eval(bindings)?;
-            let e = end.eval(bindings)?;
-            lows.push(s);
-            sizes.push((e - s).max(0) as usize);
+        let ndim = m.ranges.len();
+        let mut lows = Vec::with_capacity(ndim);
+        let mut sizes = Vec::with_capacity(ndim);
+        for (s, e) in &m.ranges {
+            let lo = self.idx(plan, s)?;
+            let hi = self.idx(plan, e)?;
+            lows.push(lo);
+            sizes.push((hi - lo).max(0) as usize);
         }
         let total: usize = sizes.iter().product();
         if total == 0 {
@@ -435,8 +535,8 @@ impl Executor {
 
         // Pre-allocate every container referenced by the body so that the
         // parallel path can operate on an immutable snapshot.
-        for array in map.body.referenced_arrays() {
-            self.ensure_allocated(&array)?;
+        for &a in &m.referenced {
+            self.ensure_allocated(plan, a)?;
         }
 
         // Fast path: a pure element-wise map (every memlet indexes exactly by
@@ -444,157 +544,168 @@ impl Executor {
         // This models the vectorized code DaCe generates for such maps and is
         // what keeps whole-array statements competitive with the baseline's
         // whole-array kernels.
-        if let Some(done) = self.try_exec_map_elementwise(map, &sizes, &lows)? {
-            if done {
-                return Ok(());
+        if self.path == MapPath::Auto {
+            if let Some(ew) = &m.elementwise {
+                if lows.iter().all(|&l| l == 0) && self.exec_map_elementwise(ew, &sizes, total)? {
+                    return Ok(());
+                }
             }
         }
 
-        let use_parallel =
-            map.parallel && total >= PARALLEL_MAP_THRESHOLD && body_is_parallel_safe(&map.body);
+        let use_parallel = match self.path {
+            MapPath::Auto => m.parallel && total >= PARALLEL_MAP_THRESHOLD && m.parallel_safe,
+            MapPath::Parallel => m.parallel_safe,
+            MapPath::Sequential => false,
+        };
         if use_parallel {
-            self.exec_map_parallel(map, bindings, &lows, &sizes, total)
+            self.exec_map_parallel(plan, m, &lows, &sizes, total)
         } else {
-            self.exec_map_sequential(map, bindings, &lows, &sizes, total)
+            self.exec_map_sequential(plan, m, &lows, &sizes, total)
         }
     }
 
-    /// Attempt the element-wise fast path.  Returns `Ok(Some(true))` when the
-    /// map was executed, `Ok(Some(false))`/`Ok(None)` when the caller should
-    /// fall back to the general path.
-    fn try_exec_map_elementwise(
+    /// The element-wise flat-loop fast path.  Returns `Ok(false)` when a
+    /// runtime condition (array shapes, iterator availability) rules it out
+    /// and the caller should fall back to the general path.
+    ///
+    /// Every identity-indexed array must have exactly the iteration domain as
+    /// its shape — a length match alone is not enough, because an array whose
+    /// dimensions are a permutation of the map sizes would be traversed with
+    /// the wrong strides by the flat loop.
+    fn exec_map_elementwise(
         &mut self,
-        map: &MapScope,
+        ew: &PlanElementwise,
         sizes: &[usize],
-        lows: &[i64],
-    ) -> RuntimeResult<Option<bool>> {
-        // Only zero-based dense domains qualify.
-        if lows.iter().any(|&l| l != 0) {
-            return Ok(None);
+        total: usize,
+    ) -> RuntimeResult<bool> {
+        let shape_matches = |t: Option<&Tensor>| -> bool {
+            match t {
+                Some(t) => t.len() == total && t.shape() == sizes,
+                None => false,
+            }
+        };
+        if !shape_matches(self.slab[ew.out_array as usize].as_ref()) {
+            return Ok(false);
         }
-        // Exactly one tasklet, everything else access nodes.
-        let mut tasklet_id = None;
-        for (i, n) in map.body.nodes.iter().enumerate() {
-            match n {
-                DfNode::Tasklet(_) => {
-                    if tasklet_id.is_some() {
-                        return Ok(None);
-                    }
-                    tasklet_id = Some(i);
+        for &(_, a) in &ew.reads {
+            if !shape_matches(self.slab[a as usize].as_ref()) {
+                return Ok(false);
+            }
+        }
+        for &(_, sym) in &ew.iter_loads {
+            if !self.syms.defined[sym as usize] {
+                return Ok(false);
+            }
+        }
+        let RunState {
+            slab,
+            syms,
+            scratch,
+            report,
+            ..
+        } = self;
+        scratch.slots.clear();
+        scratch.slots.resize(ew.n_slots, 0.0);
+        // Outer iterators are loop-invariant: promote them once.
+        for &(slot, sym) in &ew.iter_loads {
+            scratch.slots[slot as usize] = syms.vals[sym as usize] as f64;
+        }
+        // Snapshot inputs that alias the output, then take the output tensor
+        // out of the slab so the remaining inputs can be borrowed directly.
+        let aliased: Vec<Option<Vec<f64>>> = ew
+            .reads
+            .iter()
+            .map(|&(_, a)| {
+                if a == ew.out_array {
+                    Some(
+                        slab[a as usize]
+                            .as_ref()
+                            .expect("checked above")
+                            .data()
+                            .to_vec(),
+                    )
+                } else {
+                    None
                 }
-                DfNode::Access(_) => {}
-                _ => return Ok(None),
-            }
-        }
-        let Some(tnode) = tasklet_id else {
-            return Ok(None);
-        };
-        let DfNode::Tasklet(tasklet) = &map.body.nodes[tnode] else {
-            unreachable!()
-        };
-        if tasklet.code.len() != 1 {
-            return Ok(None);
-        }
-        // Every memlet must index exactly by the map parameters, in order.
-        let is_identity = |m: &Memlet| -> bool {
-            if m.subset.0.len() != map.params.len() {
-                return false;
-            }
-            m.subset.0.iter().zip(map.params.iter()).all(|(r, p)| {
-                matches!(r, dace_sdfg::IndexRange::Index(dace_sdfg::SymExpr::Sym(s)) if s == p)
             })
-        };
-        let in_edges = map.body.in_edges(tnode);
-        let out_edges = map.body.out_edges(tnode);
-        if out_edges.len() != 1 || !is_identity(&out_edges[0].memlet) {
-            return Ok(None);
-        }
-        if !in_edges.iter().all(|e| is_identity(&e.memlet)) {
-            return Ok(None);
-        }
-        // The expression must not reference iteration symbols beyond inputs.
-        let (_, expr) = &tasklet.code[0];
-        let total: usize = sizes.iter().product();
-        let out_memlet = out_edges[0].memlet.clone();
-        // Gather input data as owned vectors (cheap relative to the loop).
-        let mut inputs: Vec<(String, Vec<f64>)> = Vec::new();
-        for e in &in_edges {
-            let conn = e.dst_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("tasklet in-edge without connector".into())
-            })?;
-            let t = self
-                .arrays
-                .get(&e.memlet.data)
-                .ok_or_else(|| RuntimeError::UnknownArray(e.memlet.data.clone()))?;
-            if t.len() != total {
-                return Ok(None);
-            }
-            inputs.push((conn, t.data().to_vec()));
-        }
-        let out_t = self
-            .arrays
-            .get_mut(&out_memlet.data)
-            .ok_or_else(|| RuntimeError::UnknownArray(out_memlet.data.clone()))?;
-        if out_t.len() != total {
-            return Ok(None);
-        }
-        let accumulate = matches!(out_memlet.wcr, Some(Wcr::Sum));
-        let mut scratch: HashMap<String, f64> = HashMap::new();
-        let iters: HashMap<String, i64> = self.symbols.clone();
-        // Expressions referencing the map parameters as values (e.g. index
-        // arithmetic) are not handled by the flat loop — probe once and fall
-        // back to the general path if evaluation needs them.
-        for (conn, data) in &inputs {
-            scratch.insert(conn.clone(), data[0]);
-        }
-        if total > 0 && expr.eval(&scratch, &iters).is_err() {
-            return Ok(None);
-        }
-        let out_data = out_t.data_mut();
-        for flat in 0..total {
-            for (conn, data) in &inputs {
-                scratch.insert(conn.clone(), data[flat]);
-            }
-            let value = expr.eval(&scratch, &iters).map_err(RuntimeError::Tasklet)?;
-            if accumulate {
-                out_data[flat] += value;
+            .collect();
+        let mut out_t = slab[ew.out_array as usize].take().expect("checked above");
+        {
+            let srcs: Vec<(u32, &[f64])> = ew
+                .reads
+                .iter()
+                .zip(&aliased)
+                .map(|(&(slot, a), owned)| match owned {
+                    Some(v) => (slot, v.as_slice()),
+                    None => (
+                        slot,
+                        slab[a as usize].as_ref().expect("checked above").data(),
+                    ),
+                })
+                .collect();
+            let out_data = out_t.data_mut();
+            if ew.accumulate {
+                for (flat, out) in out_data.iter_mut().enumerate().take(total) {
+                    for &(slot, data) in &srcs {
+                        scratch.slots[slot as usize] = data[flat];
+                    }
+                    *out += ew.expr.eval(&scratch.slots, &mut scratch.f_regs);
+                }
             } else {
-                out_data[flat] = value;
+                for (flat, out) in out_data.iter_mut().enumerate().take(total) {
+                    for &(slot, data) in &srcs {
+                        scratch.slots[slot as usize] = data[flat];
+                    }
+                    *out = ew.expr.eval(&scratch.slots, &mut scratch.f_regs);
+                }
             }
         }
-        self.report.tasklet_invocations += total as u64;
-        Ok(Some(true))
+        slab[ew.out_array as usize] = Some(out_t);
+        report.tasklet_invocations += total as u64;
+        Ok(true)
     }
 
     fn exec_map_sequential(
         &mut self,
-        map: &MapScope,
-        bindings: &mut HashMap<String, i64>,
+        plan: &ExecPlan,
+        m: &PlanMap,
         lows: &[i64],
         sizes: &[usize],
         total: usize,
     ) -> RuntimeResult<()> {
-        let saved: Vec<Option<i64>> = map
+        let ndim = m.params.len();
+        let saved: Vec<(i64, bool)> = m
             .params
             .iter()
-            .map(|p| bindings.get(p).copied())
+            .map(|&p| (self.syms.vals[p as usize], self.syms.defined[p as usize]))
             .collect();
-        for flat in 0..total {
-            let point = unflatten(flat, sizes);
-            for (d, p) in map.params.iter().enumerate() {
-                bindings.insert(p.clone(), lows[d] + point[d] as i64);
-            }
-            self.exec_graph(&map.body, bindings)?;
+        for (d, &p) in m.params.iter().enumerate() {
+            self.syms.set(p, lows[d]);
         }
-        for (p, old) in map.params.iter().zip(saved) {
-            match old {
-                Some(v) => {
-                    bindings.insert(p.clone(), v);
-                }
-                None => {
-                    bindings.remove(p);
-                }
+        // Odometer over the index domain (last dimension fastest), matching
+        // the row-major flat order of the old unflatten-per-point loop but
+        // without any per-point allocation.
+        let mut counters = vec![0usize; ndim];
+        let mut remaining = total;
+        loop {
+            self.exec_graph(plan, &m.body)?;
+            remaining -= 1;
+            if remaining == 0 {
+                break;
             }
+            for d in (0..ndim).rev() {
+                counters[d] += 1;
+                if counters[d] < sizes[d] {
+                    self.syms.vals[m.params[d] as usize] = lows[d] + counters[d] as i64;
+                    break;
+                }
+                counters[d] = 0;
+                self.syms.vals[m.params[d] as usize] = lows[d];
+            }
+        }
+        for (&p, &(v, def)) in m.params.iter().zip(&saved) {
+            self.syms.vals[p as usize] = v;
+            self.syms.defined[p as usize] = def;
         }
         Ok(())
     }
@@ -602,120 +713,125 @@ impl Executor {
     /// Parallel map execution: every index point is evaluated against an
     /// immutable snapshot of the arrays, producing buffered writes that are
     /// applied afterwards.  This mirrors the data-race-free semantics of a
-    /// DaCe map (each iteration writes a disjoint subset).
+    /// DaCe map (each iteration writes a disjoint subset).  Work is split
+    /// into one contiguous chunk per pool thread; each chunk reuses its own
+    /// symbol file and register scratch across its points.
     fn exec_map_parallel(
         &mut self,
-        map: &MapScope,
-        bindings: &HashMap<String, i64>,
+        plan: &ExecPlan,
+        m: &PlanMap,
         lows: &[i64],
         sizes: &[usize],
         total: usize,
     ) -> RuntimeResult<()> {
-        let order = map
-            .body
-            .topological_order()
-            .ok_or_else(|| RuntimeError::CyclicGraph("<map body>".to_string()))?;
-        let arrays = &self.arrays;
-        let results: Result<Vec<Vec<BufferedWrite>>, RuntimeError> = (0..total)
+        if let Some(e) = &m.body.fail {
+            return Err(e.clone());
+        }
+        let n_chunks = rayon::current_num_threads().max(1).min(total);
+        let chunk = total.div_ceil(n_chunks);
+        let slab = &self.slab;
+        let base_syms = &self.syms;
+        let results: Result<Vec<Vec<BufferedWrite>>, RuntimeError> = (0..n_chunks)
             .into_par_iter()
-            .map(|flat| {
-                let point = unflatten(flat, sizes);
-                let mut local = bindings.clone();
-                for (d, p) in map.params.iter().enumerate() {
-                    local.insert(p.clone(), lows[d] + point[d] as i64);
+            .map(|c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(total);
+                if lo >= hi {
+                    return Ok(Vec::new());
                 }
-                eval_body_readonly(&map.body, &order, arrays, &local)
+                let mut syms = base_syms.clone();
+                let mut scratch = Scratch::default();
+                let mut writes: Vec<BufferedWrite> = Vec::new();
+                let mut counters = unflatten(lo, sizes);
+                for (d, &p) in m.params.iter().enumerate() {
+                    syms.set(p, lows[d] + counters[d] as i64);
+                }
+                let mut remaining = hi - lo;
+                loop {
+                    eval_body_readonly(plan, &m.body, slab, &syms, &mut scratch, &mut writes)?;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                    for d in (0..sizes.len()).rev() {
+                        counters[d] += 1;
+                        if counters[d] < sizes[d] {
+                            syms.vals[m.params[d] as usize] = lows[d] + counters[d] as i64;
+                            break;
+                        }
+                        counters[d] = 0;
+                        syms.vals[m.params[d] as usize] = lows[d];
+                    }
+                }
+                Ok(writes)
             })
             .collect();
-        let mut tasklets = 0u64;
-        for writes in results? {
-            for w in writes {
-                tasklets += 1;
-                let t = self
-                    .arrays
-                    .get_mut(&w.array)
-                    .ok_or_else(|| RuntimeError::UnknownArray(w.array.clone()))?;
-                let slot = t.at_mut(&w.index).map_err(|_| RuntimeError::BadIndex {
-                    array: w.array.clone(),
-                    index: w.index.iter().map(|&v| v as i64).collect(),
+        for chunk_writes in results? {
+            for w in chunk_writes {
+                let t = self.slab[w.array as usize].as_mut().ok_or_else(|| {
+                    RuntimeError::UnknownArray(plan.arrays.names[w.array as usize].clone())
                 })?;
+                let target = &mut t.data_mut()[w.flat];
                 if w.accumulate {
-                    *slot += w.value;
+                    *target += w.value;
                 } else {
-                    *slot = w.value;
+                    *target = w.value;
                 }
             }
         }
-        self.report.tasklet_invocations += tasklets;
+        // Count tasklet *evaluations* (not buffered writes): each index point
+        // evaluates every tasklet of the body exactly once.
+        self.report.tasklet_invocations += total as u64 * m.body_tasklets;
         Ok(())
     }
 
-    fn exec_library(
-        &mut self,
-        graph: &DataflowGraph,
-        node: NodeId,
-        op: &LibraryOp,
-    ) -> RuntimeResult<()> {
+    fn exec_library(&mut self, plan: &ExecPlan, l: &PlanLibrary) -> RuntimeResult<()> {
         self.report.library_calls += 1;
-        // Gather full input tensors by connector.
-        let mut inputs: HashMap<String, Tensor> = HashMap::new();
-        for e in graph.in_edges(node) {
-            let conn = e.dst_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("library in-edge without connector".into())
-            })?;
-            self.ensure_allocated(&e.memlet.data)?;
-            let t = self
-                .arrays
-                .get(&e.memlet.data)
-                .ok_or_else(|| RuntimeError::UnknownArray(e.memlet.data.clone()))?;
-            inputs.insert(conn, t.clone());
+        for &(_, a) in l.inputs.iter() {
+            self.ensure_allocated(plan, a)?;
         }
-        let get = |conn: &str| -> RuntimeResult<&Tensor> {
-            inputs.get(conn).ok_or_else(|| {
-                RuntimeError::Malformed(format!("library node missing input `{conn}`"))
-            })
+        // Compute outputs by connector against immutable slab borrows (the
+        // old interpreter cloned every input tensor first).
+        let outputs: Vec<(&'static str, Tensor)> = {
+            let slab = &self.slab;
+            let get = |conn: &str| -> RuntimeResult<&Tensor> {
+                for (c, a) in &l.inputs {
+                    if c == conn {
+                        return slab[*a as usize].as_ref().ok_or_else(|| {
+                            RuntimeError::UnknownArray(plan.arrays.names[*a as usize].clone())
+                        });
+                    }
+                }
+                Err(RuntimeError::Malformed(format!(
+                    "library node missing input `{conn}`"
+                )))
+            };
+            match &l.op {
+                LibraryOp::MatMul => vec![("C", get("A")?.matmul(get("B")?)?)],
+                LibraryOp::MatVec => vec![("y", get("A")?.matvec(get("x")?)?)],
+                LibraryOp::Transpose => vec![("B", get("A")?.transpose()?)],
+                LibraryOp::SumReduce { .. } => {
+                    let s = get("IN")?.sum();
+                    vec![("OUT", Tensor::from_vec(vec![s], &[1])?)]
+                }
+                LibraryOp::Copy => vec![("B", get("A")?.clone())],
+            }
         };
-        // Compute outputs by connector.
-        let mut outputs: HashMap<String, Tensor> = HashMap::new();
-        match op {
-            LibraryOp::MatMul => {
-                let c = get("A")?.matmul(get("B")?)?;
-                outputs.insert("C".into(), c);
-            }
-            LibraryOp::MatVec => {
-                let y = get("A")?.matvec(get("x")?)?;
-                outputs.insert("y".into(), y);
-            }
-            LibraryOp::Transpose => {
-                let b = get("A")?.transpose()?;
-                outputs.insert("B".into(), b);
-            }
-            LibraryOp::SumReduce { .. } => {
-                let s = get("IN")?.sum();
-                outputs.insert("OUT".into(), Tensor::from_vec(vec![s], &[1])?);
-            }
-            LibraryOp::Copy => {
-                outputs.insert("B".into(), get("A")?.clone());
-            }
-        }
         // Write outputs.
-        for e in graph.out_edges(node) {
-            let conn = e.src_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("library out-edge without connector".into())
-            })?;
-            let value = outputs.get(&conn).ok_or_else(|| {
-                RuntimeError::Malformed(format!("library node has no output `{conn}`"))
-            })?;
-            self.ensure_allocated(&e.memlet.data)?;
-            let accumulate =
-                e.memlet.wcr.is_some() || matches!(op, LibraryOp::SumReduce { accumulate: true });
-            let dst = self
-                .arrays
-                .get_mut(&e.memlet.data)
-                .ok_or_else(|| RuntimeError::UnknownArray(e.memlet.data.clone()))?;
+        for (conn, array, wcr) in &l.outputs {
+            let value = outputs
+                .iter()
+                .find(|(c, _)| c == conn)
+                .map(|(_, t)| t)
+                .ok_or_else(|| {
+                    RuntimeError::Malformed(format!("library node has no output `{conn}`"))
+                })?;
+            self.ensure_allocated(plan, *array)?;
+            let accumulate = *wcr || matches!(l.op, LibraryOp::SumReduce { accumulate: true });
+            let dst = self.slab[*array as usize].as_mut().expect("just allocated");
             if dst.shape() != value.shape() {
                 return Err(RuntimeError::ShapeMismatch {
-                    array: e.memlet.data.clone(),
+                    array: plan.arrays.names[*array as usize].clone(),
                     expected: dst.shape().to_vec(),
                     got: value.shape().to_vec(),
                 });
@@ -730,90 +846,160 @@ impl Executor {
     }
 }
 
-/// A buffered element write produced by the parallel map path.
-struct BufferedWrite {
-    array: String,
-    index: Vec<usize>,
-    value: f64,
-    accumulate: bool,
+/// Promote iteration-symbol values into expression slots, with the same
+/// missing-symbol error the tree-walking evaluator produced.
+#[inline]
+fn load_iters(
+    plan: &ExecPlan,
+    syms: &SymFile,
+    slots: &mut [f64],
+    iter_loads: &[(u32, u32)],
+) -> RuntimeResult<()> {
+    for &(slot, sym) in iter_loads {
+        if !syms.defined[sym as usize] {
+            return Err(RuntimeError::Tasklet(format!(
+                "missing iteration symbol `{}`",
+                plan.syms.names[sym as usize]
+            )));
+        }
+        slots[slot as usize] = syms.vals[sym as usize] as f64;
+    }
+    Ok(())
 }
 
-/// True if a map body contains only access nodes and tasklets with
-/// element-granularity memlets (the precondition for the snapshot-based
-/// parallel execution).
-fn body_is_parallel_safe(body: &DataflowGraph) -> bool {
-    body.nodes
-        .iter()
-        .all(|n| matches!(n, DfNode::Access(_) | DfNode::Tasklet(_)))
-        && body
-            .edges
-            .iter()
-            .all(|e| e.memlet.subset.is_element() || e.memlet.subset.is_all())
+/// Read the scalar selected by a pre-classified access.
+#[inline]
+fn read_access(
+    plan: &ExecPlan,
+    slab: &[Option<Tensor>],
+    syms: &SymFile,
+    i_regs: &mut Vec<i64>,
+    array: u32,
+    access: &PlanAccess,
+) -> RuntimeResult<f64> {
+    let t = slab[array as usize]
+        .as_ref()
+        .ok_or_else(|| RuntimeError::UnknownArray(plan.arrays.names[array as usize].clone()))?;
+    match access {
+        PlanAccess::All => {
+            if t.len() == 1 {
+                Ok(t.data()[0])
+            } else {
+                Err(RuntimeError::Malformed(format!(
+                    "whole-array memlet of `{}` used as a scalar read",
+                    plan.arrays.names[array as usize]
+                )))
+            }
+        }
+        PlanAccess::Element(idx) => {
+            let layout = plan.arrays.layout(array)?;
+            let flat = flat_offset(plan, syms, i_regs, array, idx, layout)?;
+            Ok(t.data()[flat])
+        }
+    }
+}
+
+/// Maximum rank handled without a heap allocation in the offset computation.
+const MAX_INLINE_RANK: usize = 8;
+
+/// Compute the flat row-major offset of a compiled element subset, with the
+/// per-dimension bounds checks the tensor indexing used to perform.
+#[inline]
+fn flat_offset(
+    plan: &ExecPlan,
+    syms: &SymFile,
+    i_regs: &mut Vec<i64>,
+    array: u32,
+    idx: &[CIdx],
+    layout: &Layout,
+) -> RuntimeResult<usize> {
+    let names = &plan.syms.names;
+    let rank = idx.len();
+    let mut inline_buf = [0i64; MAX_INLINE_RANK];
+    let mut heap_buf;
+    let vals: &mut [i64] = if rank <= MAX_INLINE_RANK {
+        &mut inline_buf[..rank]
+    } else {
+        heap_buf = vec![0i64; rank];
+        &mut heap_buf
+    };
+    for (d, c) in idx.iter().enumerate() {
+        vals[d] = c.eval(syms, names, i_regs)?;
+    }
+    let bad = |vals: &[i64]| RuntimeError::BadIndex {
+        array: plan.arrays.names[array as usize].clone(),
+        index: vals.to_vec(),
+    };
+    if rank != layout.dims.len() {
+        return Err(bad(vals));
+    }
+    let mut flat = 0usize;
+    for d in 0..rank {
+        let v = vals[d];
+        if v < 0 || v as usize >= layout.dims[d] {
+            return Err(bad(vals));
+        }
+        flat += v as usize * layout.strides[d];
+    }
+    Ok(flat)
 }
 
 /// Evaluate a tasklet-only body against an immutable array snapshot,
-/// returning the buffered writes.
+/// appending the buffered writes.
 fn eval_body_readonly(
-    body: &DataflowGraph,
-    order: &[NodeId],
-    arrays: &HashMap<String, Tensor>,
-    bindings: &HashMap<String, i64>,
-) -> RuntimeResult<Vec<BufferedWrite>> {
-    let mut writes = Vec::new();
-    for &node in order {
-        let DfNode::Tasklet(tasklet) = &body.nodes[node] else {
-            continue;
+    plan: &ExecPlan,
+    body: &PlanGraph,
+    slab: &[Option<Tensor>],
+    syms: &SymFile,
+    scratch: &mut Scratch,
+    writes: &mut Vec<BufferedWrite>,
+) -> RuntimeResult<()> {
+    for &n in &body.order {
+        let t = match &body.nodes[n] {
+            PlanNode::Tasklet(t) => t,
+            PlanNode::Fail(e) => return Err(e.clone()),
+            _ => continue,
         };
-        let mut inputs: HashMap<String, f64> = HashMap::new();
-        for e in body.in_edges(node) {
-            let conn = e.dst_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("tasklet in-edge without connector".into())
-            })?;
-            let t = arrays
-                .get(&e.memlet.data)
-                .ok_or_else(|| RuntimeError::UnknownArray(e.memlet.data.clone()))?;
-            let value = if e.memlet.subset.is_all() && t.len() == 1 {
-                t.data()[0]
-            } else {
-                let idx = e.memlet.subset.eval_indices(bindings)?;
-                let uidx = to_unsigned_index(&e.memlet.data, &idx)?;
-                t.at(&uidx).map_err(|_| RuntimeError::BadIndex {
-                    array: e.memlet.data.clone(),
-                    index: idx,
-                })?
-            };
-            inputs.insert(conn, value);
+        scratch.slots.clear();
+        scratch.slots.resize(t.n_slots, 0.0);
+        for r in &t.reads {
+            let v = read_access(plan, slab, syms, &mut scratch.i_regs, r.array, &r.access)?;
+            scratch.slots[r.slot as usize] = v;
         }
-        let mut outputs: HashMap<String, f64> = HashMap::new();
-        for (out, expr) in &tasklet.code {
-            outputs.insert(
-                out.clone(),
-                expr.eval(&inputs, bindings)
-                    .map_err(RuntimeError::Tasklet)?,
-            );
+        load_iters(plan, syms, &mut scratch.slots, &t.iter_loads)?;
+        scratch.outs.clear();
+        for e in &t.exprs {
+            let v = e.eval(&scratch.slots, &mut scratch.f_regs);
+            scratch.outs.push(v);
         }
-        for e in body.out_edges(node) {
-            let conn = e.src_conn.clone().ok_or_else(|| {
-                RuntimeError::Malformed("tasklet out-edge without connector".into())
-            })?;
-            let value = *outputs.get(&conn).ok_or_else(|| {
-                RuntimeError::Malformed(format!("no assignment for connector `{conn}`"))
-            })?;
-            let index = if e.memlet.subset.is_all() {
-                vec![0usize]
-            } else {
-                let idx = e.memlet.subset.eval_indices(bindings)?;
-                to_unsigned_index(&e.memlet.data, &idx)?
+        for w in &t.writes {
+            let flat = match &w.access {
+                PlanAccess::All => {
+                    let t2 = slab[w.array as usize].as_ref().ok_or_else(|| {
+                        RuntimeError::UnknownArray(plan.arrays.names[w.array as usize].clone())
+                    })?;
+                    if t2.len() != 1 {
+                        return Err(RuntimeError::Malformed(format!(
+                            "whole-array memlet of `{}` used as a scalar write",
+                            plan.arrays.names[w.array as usize]
+                        )));
+                    }
+                    0
+                }
+                PlanAccess::Element(idx) => {
+                    let layout = plan.arrays.layout(w.array)?;
+                    flat_offset(plan, syms, &mut scratch.i_regs, w.array, idx, layout)?
+                }
             };
             writes.push(BufferedWrite {
-                array: e.memlet.data.clone(),
-                index,
-                value,
-                accumulate: matches!(e.memlet.wcr, Some(Wcr::Sum)),
+                array: w.array,
+                flat,
+                value: scratch.outs[w.expr as usize],
+                accumulate: w.accumulate,
             });
         }
     }
-    Ok(writes)
+    Ok(())
 }
 
 fn to_unsigned_index(array: &str, idx: &[i64]) -> RuntimeResult<Vec<usize>> {
@@ -852,8 +1038,8 @@ pub fn subset_indices(subset: &Subset, bindings: &HashMap<String, i64>) -> Optio
 mod tests {
     use super::*;
     use dace_sdfg::{
-        ArrayDesc, BranchRegion, CmpOp, CondExpr, CondOperand, ControlFlow, LoopRegion,
-        ScalarExpr as E, State, SymExpr,
+        ArrayDesc, BranchRegion, CmpOp, CondExpr, CondOperand, ControlFlow, DataflowGraph,
+        LoopRegion, MapScope, Memlet, ScalarExpr as E, State, SymExpr, Tasklet,
     };
 
     fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
@@ -933,6 +1119,119 @@ mod tests {
             ex.array("Y").unwrap(),
             &expected
         ));
+    }
+
+    /// The same elementwise-eligible map must produce identical results and
+    /// identical counters on all three execution paths.
+    #[test]
+    fn all_paths_report_identical_counters() {
+        let x = dace_tensor::random::uniform(&[64], 9);
+        let mut reports = Vec::new();
+        let mut outputs = Vec::new();
+        for path in [MapPath::Auto, MapPath::Sequential, MapPath::Parallel] {
+            let sdfg = scale_sdfg(1.5);
+            let mut ex = Executor::new(&sdfg, &symbols(&[("N", 64)])).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            let report = ex.run().unwrap();
+            outputs.push(ex.array("Y").unwrap().data().to_vec());
+            reports.push(report);
+        }
+        for r in &reports[1..] {
+            assert_eq!(r.tasklet_invocations, reports[0].tasklet_invocations);
+            assert_eq!(r.map_points, reports[0].map_points);
+            assert_eq!(r.state_executions, reports[0].state_executions);
+        }
+        assert_eq!(reports[0].tasklet_invocations, 64);
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0], "paths disagree on results");
+        }
+    }
+
+    /// A tasklet with two out-edges must count as ONE evaluation per index
+    /// point on every path (the parallel path used to count buffered writes,
+    /// i.e. two per point).
+    #[test]
+    fn multi_output_tasklet_counts_evaluations_not_writes() {
+        let build = || {
+            let mut sdfg = Sdfg::new("two_outs");
+            sdfg.add_symbol("N");
+            for n in ["X", "Y", "Z"] {
+                sdfg.add_array(n, ArrayDesc::input(vec![SymExpr::sym("N")]))
+                    .unwrap();
+            }
+            let mut body = DataflowGraph::new();
+            let r = body.add_access("X");
+            let t = body.add_tasklet(Tasklet::multi(
+                "fan",
+                vec![
+                    ("a".into(), E::input("x").mul(E::c(2.0))),
+                    ("b".into(), E::input("x").add(E::c(1.0))),
+                ],
+            ));
+            let wy = body.add_access("Y");
+            let wz = body.add_access("Z");
+            body.add_edge(
+                r,
+                None,
+                t,
+                Some("x"),
+                Memlet::element("X", vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                t,
+                Some("a"),
+                wy,
+                None,
+                Memlet::element("Y", vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                t,
+                Some("b"),
+                wz,
+                None,
+                Memlet::element("Z", vec![SymExpr::sym("i")]),
+            );
+            let mut g = DataflowGraph::new();
+            let rn = g.add_access("X");
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("Y");
+            let zn = g.add_access("Z");
+            g.add_edge(rn, None, m, None, Memlet::all("X"));
+            g.add_edge(m, None, wn, None, Memlet::all("Y"));
+            g.add_edge(m, None, zn, None, Memlet::all("Z"));
+            let sid = sdfg.add_state(State {
+                name: "s".into(),
+                graph: g,
+            });
+            sdfg.cfg = ControlFlow::State(sid);
+            sdfg
+        };
+        let x = dace_tensor::random::uniform(&[100], 4);
+        let mut reports = Vec::new();
+        let mut ys = Vec::new();
+        for path in [MapPath::Sequential, MapPath::Parallel] {
+            let sdfg = build();
+            let mut ex = Executor::new(&sdfg, &symbols(&[("N", 100)])).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            reports.push(ex.run().unwrap());
+            ys.push((
+                ex.array("Y").unwrap().data().to_vec(),
+                ex.array("Z").unwrap().data().to_vec(),
+            ));
+        }
+        assert_eq!(reports[0].tasklet_invocations, 100);
+        assert_eq!(
+            reports[1].tasklet_invocations, 100,
+            "parallel path must count tasklet evaluations, not buffered writes"
+        );
+        assert_eq!(ys[0], ys[1]);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! differences (in-place gradients, no per-iteration bound checks, compact
 //! backward loops) rather than substrate differences.
 //!
+//! Execution is two-phase: [`executor::Executor::new`] lowers the SDFG once
+//! into a compiled execution plan (interned ids, register-compiled tasklet
+//! expressions, precomputed topological orders and subset classifications),
+//! and [`executor::Executor::run`] walks that plan with zero per-iteration
+//! string lookups, clones or heap allocations on the hot paths.
+//!
 //! * [`executor::Executor`] — runs an SDFG given symbol values and inputs.
 //! * [`memory::MemoryTracker`] — allocation tracking and peak-memory
 //!   measurement used by the checkpointing experiments (Fig. 13).
@@ -15,7 +21,8 @@
 pub mod error;
 pub mod executor;
 pub mod memory;
+mod plan;
 
 pub use error::{RuntimeError, RuntimeResult};
-pub use executor::{ExecutionReport, Executor};
+pub use executor::{ExecutionReport, Executor, MapPath};
 pub use memory::MemoryTracker;

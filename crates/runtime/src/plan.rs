@@ -1,0 +1,941 @@
+//! Plan compilation: lowering an [`Sdfg`] into an [`ExecPlan`].
+//!
+//! The executor used to interpret the SDFG structure directly — re-resolving
+//! string-keyed arrays, symbols and tasklet connectors on every loop
+//! iteration and cloning state graphs per execution.  Plan compilation does
+//! all of that resolution **once**, up front, when the [`crate::Executor`]
+//! is constructed:
+//!
+//! * array names are interned to dense `u32` ids; tensors live in a flat
+//!   slab (`Vec<Option<Tensor>>`) indexed by id, with concrete shapes,
+//!   row-major strides and byte sizes precomputed from the symbol values;
+//! * symbols, loop iterators and map parameters are interned to slots of a
+//!   flat integer register file ([`SymFile`]);
+//! * memlet subsets are pre-classified (whole-array / element) and their
+//!   index expressions compiled to [`CIdx`] — a constant, a symbol slot, a
+//!   slot plus offset, or (rarely) a general compiled integer expression;
+//! * every tasklet's [`dace_sdfg::ScalarExpr`] assignments are compiled to
+//!   register-based [`CompiledExpr`] instruction sequences with connector
+//!   and iteration-symbol references resolved to slot indices;
+//! * per-graph topological orders, map element-wise fast-path eligibility
+//!   and parallel-safety are all decided once.
+//!
+//! Lowering never fails eagerly: constructs that the old interpreter would
+//! only reject *when executed* (missing connectors, unknown arrays, cyclic
+//! graphs) lower to [`PlanNode::Fail`] / `PlanGraph::fail` markers carrying
+//! the exact runtime error, so error behaviour — including errors that never
+//! fire because the offending state is dead — is preserved.
+
+use std::collections::HashMap;
+
+use dace_sdfg::{
+    CmpOp, CompiledExpr, CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, LeafRef,
+    LibraryOp, MapScope, Sdfg, SubsetClass, SymError, SymExpr, Tasklet, Wcr,
+};
+
+use crate::error::{RuntimeError, RuntimeResult};
+
+// ---------------------------------------------------------------------------
+// Symbol register file.
+// ---------------------------------------------------------------------------
+
+/// Flat register file of integer symbol values (SDFG symbols, loop iterators
+/// and map parameters), indexed by interned symbol id.  `defined` tracks
+/// which slots currently hold a value so that out-of-scope iterator reads
+/// report the same unbound-symbol errors as the string-keyed interpreter.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SymFile {
+    pub vals: Vec<i64>,
+    pub defined: Vec<bool>,
+}
+
+impl SymFile {
+    #[inline]
+    pub fn set(&mut self, slot: u32, value: i64) {
+        self.vals[slot as usize] = value;
+        self.defined[slot as usize] = true;
+    }
+}
+
+/// Interner for symbol names.
+#[derive(Debug, Default)]
+pub(crate) struct SymTable {
+    pub names: Vec<String>,
+    pub ids: HashMap<String, u32>,
+}
+
+impl SymTable {
+    fn intern(&mut self, name: &str, init: &mut SymFile) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        init.vals.push(0);
+        init.defined.push(false);
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled integer index expressions.
+// ---------------------------------------------------------------------------
+
+/// Binary operator of a compiled integer expression.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SymBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+}
+
+/// One instruction of a general compiled integer expression.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SymInstr {
+    Const {
+        dst: u32,
+        value: i64,
+    },
+    Load {
+        dst: u32,
+        slot: u32,
+    },
+    Bin {
+        dst: u32,
+        op: SymBin,
+        a: u32,
+        b: u32,
+    },
+    Neg {
+        dst: u32,
+        a: u32,
+    },
+}
+
+/// A [`SymExpr`] lowered to a flat register sequence (the general fallback
+/// of [`CIdx`]).
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledSymExpr {
+    ops: Vec<SymInstr>,
+    result: u32,
+    n_regs: u32,
+}
+
+impl CompiledSymExpr {
+    fn eval(&self, syms: &SymFile, names: &[String], regs: &mut Vec<i64>) -> RuntimeResult<i64> {
+        if regs.len() < self.n_regs as usize {
+            regs.resize(self.n_regs as usize, 0);
+        }
+        for instr in &self.ops {
+            match *instr {
+                SymInstr::Const { dst, value } => regs[dst as usize] = value,
+                SymInstr::Load { dst, slot } => {
+                    if !syms.defined[slot as usize] {
+                        return Err(RuntimeError::from(SymError::UnboundSymbol(
+                            names[slot as usize].clone(),
+                        )));
+                    }
+                    regs[dst as usize] = syms.vals[slot as usize];
+                }
+                SymInstr::Neg { dst, a } => regs[dst as usize] = -regs[a as usize],
+                SymInstr::Bin { dst, op, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    regs[dst as usize] = match op {
+                        SymBin::Add => x + y,
+                        SymBin::Sub => x - y,
+                        SymBin::Mul => x * y,
+                        SymBin::Div => {
+                            if y == 0 {
+                                return Err(RuntimeError::from(SymError::DivisionByZero));
+                            }
+                            x.div_euclid(y)
+                        }
+                        SymBin::Rem => {
+                            if y == 0 {
+                                return Err(RuntimeError::from(SymError::DivisionByZero));
+                            }
+                            x.rem_euclid(y)
+                        }
+                        SymBin::Min => x.min(y),
+                        SymBin::Max => x.max(y),
+                    };
+                }
+            }
+        }
+        Ok(regs[self.result as usize])
+    }
+}
+
+/// A compiled integer index expression.  The first three variants cover the
+/// overwhelming majority of memlet subscripts and loop bounds (`5`, `i`,
+/// `i+1`) with zero interpretation overhead; everything else falls back to
+/// the register sequence.
+#[derive(Clone, Debug)]
+pub(crate) enum CIdx {
+    Const(i64),
+    Slot(u32),
+    SlotOffset(u32, i64),
+    Expr(CompiledSymExpr),
+}
+
+impl CIdx {
+    #[inline]
+    pub fn eval(
+        &self,
+        syms: &SymFile,
+        names: &[String],
+        regs: &mut Vec<i64>,
+    ) -> RuntimeResult<i64> {
+        match self {
+            CIdx::Const(v) => Ok(*v),
+            CIdx::Slot(s) => {
+                if !syms.defined[*s as usize] {
+                    return Err(RuntimeError::from(SymError::UnboundSymbol(
+                        names[*s as usize].clone(),
+                    )));
+                }
+                Ok(syms.vals[*s as usize])
+            }
+            CIdx::SlotOffset(s, off) => {
+                if !syms.defined[*s as usize] {
+                    return Err(RuntimeError::from(SymError::UnboundSymbol(
+                        names[*s as usize].clone(),
+                    )));
+                }
+                Ok(syms.vals[*s as usize] + off)
+            }
+            CIdx::Expr(e) => e.eval(syms, names, regs),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Array table.
+// ---------------------------------------------------------------------------
+
+/// Precomputed concrete layout of one array under the executor's symbol
+/// values.
+#[derive(Clone, Debug)]
+pub(crate) struct Layout {
+    pub dims: Vec<usize>,
+    pub strides: Vec<usize>,
+    pub bytes: usize,
+}
+
+/// Interned arrays with per-array metadata.
+#[derive(Debug)]
+pub(crate) struct ArrayTable {
+    pub names: Vec<String>,
+    pub ids: HashMap<String, u32>,
+    pub transient: Vec<bool>,
+    /// Concrete layout, or the error its symbolic shape evaluation produced
+    /// (surfaced when the array is first materialised, as before).
+    pub layouts: Vec<Result<Layout, RuntimeError>>,
+}
+
+impl ArrayTable {
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    pub fn layout(&self, id: u32) -> RuntimeResult<&Layout> {
+        match &self.layouts[id as usize] {
+            Ok(l) => Ok(l),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowered dataflow graphs.
+// ---------------------------------------------------------------------------
+
+/// A pre-classified memlet access.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanAccess {
+    /// Whole-array subset used as a scalar (must be a length-1 container).
+    All,
+    /// Element subset: one compiled index per dimension.
+    Element(Vec<CIdx>),
+}
+
+/// One tasklet input: load the scalar read through a memlet into `slot`.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanRead {
+    pub slot: u32,
+    pub array: u32,
+    pub access: PlanAccess,
+}
+
+/// One tasklet output: write the value of assignment `expr` through a memlet.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanWrite {
+    pub expr: u32,
+    pub array: u32,
+    pub access: PlanAccess,
+    pub accumulate: bool,
+}
+
+/// A lowered tasklet: slot-resolved reads, compiled assignments, resolved
+/// writes.  Executing one touches no strings and allocates nothing.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanTasklet {
+    pub reads: Vec<PlanRead>,
+    /// `(slot, sym)` pairs: promote symbol-file values into expression slots.
+    pub iter_loads: Vec<(u32, u32)>,
+    pub n_slots: usize,
+    pub exprs: Vec<CompiledExpr>,
+    pub writes: Vec<PlanWrite>,
+}
+
+/// Precomputed element-wise fast path of a map: a single one-assignment
+/// tasklet whose memlets all index identically by the map parameters, so the
+/// whole map evaluates as one flat loop over the arrays' backing storage.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanElementwise {
+    /// `(slot, array)` input loads, in edge order.
+    pub reads: Vec<(u32, u32)>,
+    /// Loop-invariant symbol promotions (outer iterators referenced by the
+    /// expression), filled once per map execution.
+    pub iter_loads: Vec<(u32, u32)>,
+    pub n_slots: usize,
+    pub expr: CompiledExpr,
+    pub out_array: u32,
+    pub accumulate: bool,
+}
+
+/// A lowered map scope.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanMap {
+    /// Symbol slots of the map parameters.
+    pub params: Vec<u32>,
+    pub ranges: Vec<(CIdx, CIdx)>,
+    pub body: PlanGraph,
+    /// Arrays referenced by the body (pre-allocated before iteration).
+    pub referenced: Vec<u32>,
+    pub parallel: bool,
+    /// Structural precondition of the snapshot-based parallel path.
+    pub parallel_safe: bool,
+    /// Tasklet count of one body execution (for invocation accounting).
+    pub body_tasklets: u64,
+    pub elementwise: Option<PlanElementwise>,
+}
+
+/// A lowered library node.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanLibrary {
+    pub op: LibraryOp,
+    /// `(connector, array)` per in-edge.
+    pub inputs: Vec<(String, u32)>,
+    /// `(connector, array, wcr)` per out-edge.
+    pub outputs: Vec<(String, u32, bool)>,
+}
+
+/// A lowered dataflow node.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanNode {
+    Access(u32),
+    Tasklet(PlanTasklet),
+    Map(Box<PlanMap>),
+    Library(PlanLibrary),
+    /// A node whose lowering failed; executing it raises the stored error
+    /// (preserving the lazy error semantics of the direct interpreter).
+    Fail(RuntimeError),
+}
+
+/// A lowered dataflow graph with its topological order precomputed.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PlanGraph {
+    pub nodes: Vec<PlanNode>,
+    pub order: Vec<usize>,
+    /// Set when the graph as a whole cannot execute (cyclic).
+    pub fail: Option<RuntimeError>,
+}
+
+// ---------------------------------------------------------------------------
+// Lowered control flow.
+// ---------------------------------------------------------------------------
+
+/// A lowered control-flow condition operand.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanOperand {
+    Const(f64),
+    Sym(CIdx),
+    Element { array: u32, index: Vec<CIdx> },
+}
+
+/// A lowered control-flow condition.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanCond {
+    Cmp {
+        lhs: PlanOperand,
+        op: CmpOp,
+        rhs: PlanOperand,
+    },
+    Not(Box<PlanCond>),
+    StoredFlag(u32),
+    Fail(RuntimeError),
+}
+
+/// Lowered structured control flow.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanCf {
+    State(usize),
+    Seq(Vec<PlanCf>),
+    Loop {
+        var: u32,
+        start: CIdx,
+        end: CIdx,
+        step: CIdx,
+        body: Box<PlanCf>,
+    },
+    Branch {
+        cond: PlanCond,
+        then_body: Box<PlanCf>,
+        else_body: Option<Box<PlanCf>>,
+    },
+}
+
+/// The compiled execution plan of one SDFG under concrete symbol values.
+#[derive(Debug)]
+pub(crate) struct ExecPlan {
+    pub arrays: ArrayTable,
+    pub syms: SymTable,
+    /// Initial symbol file: SDFG symbol values defined, iterators undefined.
+    pub init_syms: SymFile,
+    pub states: Vec<PlanGraph>,
+    pub cfg: PlanCf,
+}
+
+// ---------------------------------------------------------------------------
+// Lowering.
+// ---------------------------------------------------------------------------
+
+struct Lowerer {
+    arrays: ArrayTable,
+    syms: SymTable,
+    init_syms: SymFile,
+}
+
+/// Compile an SDFG into an execution plan under concrete symbol values.
+pub(crate) fn compile_plan(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> ExecPlan {
+    // Intern arrays in name order (deterministic ids).
+    let mut names = Vec::new();
+    let mut ids = HashMap::new();
+    let mut transient = Vec::new();
+    let mut layouts = Vec::new();
+    for (name, desc) in &sdfg.arrays {
+        ids.insert(name.clone(), names.len() as u32);
+        names.push(name.clone());
+        transient.push(desc.transient);
+        layouts.push(
+            desc.concrete_shape(symbols)
+                .and_then(|dims| {
+                    let bytes = desc.size_bytes(symbols)? as usize;
+                    Ok((dims, bytes))
+                })
+                .map(|(dims, bytes)| {
+                    let mut strides = vec![1usize; dims.len()];
+                    for d in (0..dims.len().saturating_sub(1)).rev() {
+                        strides[d] = strides[d + 1] * dims[d + 1];
+                    }
+                    Layout {
+                        dims,
+                        strides,
+                        bytes,
+                    }
+                })
+                .map_err(RuntimeError::from),
+        );
+    }
+
+    let mut lo = Lowerer {
+        arrays: ArrayTable {
+            names,
+            ids,
+            transient,
+            layouts,
+        },
+        syms: SymTable::default(),
+        init_syms: SymFile::default(),
+    };
+
+    // Intern every provided symbol value (sorted for deterministic slots);
+    // the old interpreter seeded its bindings map with all of them.
+    let mut provided: Vec<(&String, &i64)> = symbols.iter().collect();
+    provided.sort();
+    for (name, &value) in provided {
+        let slot = lo.syms.intern(name, &mut lo.init_syms);
+        lo.init_syms.vals[slot as usize] = value;
+        lo.init_syms.defined[slot as usize] = true;
+    }
+
+    let states: Vec<PlanGraph> = sdfg
+        .states
+        .iter()
+        .map(|s| lo.lower_graph(&s.graph))
+        .collect();
+    let cfg = lo.lower_cf(&sdfg.cfg);
+    ExecPlan {
+        arrays: lo.arrays,
+        syms: lo.syms,
+        init_syms: lo.init_syms,
+        states,
+        cfg,
+    }
+}
+
+impl Lowerer {
+    fn sym(&mut self, name: &str) -> u32 {
+        self.syms.intern(name, &mut self.init_syms)
+    }
+
+    fn array(&mut self, name: &str) -> Result<u32, RuntimeError> {
+        self.arrays
+            .id(name)
+            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))
+    }
+
+    fn lower_sym_expr(&mut self, e: &SymExpr) -> CIdx {
+        match e {
+            SymExpr::Int(v) => CIdx::Const(*v),
+            SymExpr::Sym(s) => CIdx::Slot(self.sym(s)),
+            SymExpr::Add(a, b) => match (&**a, &**b) {
+                (SymExpr::Sym(s), SymExpr::Int(v)) | (SymExpr::Int(v), SymExpr::Sym(s)) => {
+                    CIdx::SlotOffset(self.sym(s), *v)
+                }
+                _ => self.lower_sym_general(e),
+            },
+            SymExpr::Sub(a, b) => match (&**a, &**b) {
+                (SymExpr::Sym(s), SymExpr::Int(v)) => CIdx::SlotOffset(self.sym(s), -*v),
+                _ => self.lower_sym_general(e),
+            },
+            _ => self.lower_sym_general(e),
+        }
+    }
+
+    fn lower_sym_general(&mut self, e: &SymExpr) -> CIdx {
+        let mut ops = Vec::new();
+        let result = self.lower_sym_into(e, &mut ops);
+        CIdx::Expr(CompiledSymExpr {
+            n_regs: result + 1,
+            result,
+            ops,
+        })
+    }
+
+    fn lower_sym_into(&mut self, e: &SymExpr, ops: &mut Vec<SymInstr>) -> u32 {
+        let bin = |op: SymBin, a: u32, b: u32, ops: &mut Vec<SymInstr>| {
+            let dst = ops.len() as u32;
+            ops.push(SymInstr::Bin { dst, op, a, b });
+            dst
+        };
+        match e {
+            SymExpr::Int(v) => {
+                let dst = ops.len() as u32;
+                ops.push(SymInstr::Const { dst, value: *v });
+                dst
+            }
+            SymExpr::Sym(s) => {
+                let slot = self.sym(s);
+                let dst = ops.len() as u32;
+                ops.push(SymInstr::Load { dst, slot });
+                dst
+            }
+            SymExpr::Add(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Add, a, b, ops)
+            }
+            SymExpr::Sub(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Sub, a, b, ops)
+            }
+            SymExpr::Mul(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Mul, a, b, ops)
+            }
+            SymExpr::Div(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Div, a, b, ops)
+            }
+            SymExpr::Rem(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Rem, a, b, ops)
+            }
+            SymExpr::Min(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Min, a, b, ops)
+            }
+            SymExpr::Max(a, b) => {
+                let (a, b) = (self.lower_sym_into(a, ops), self.lower_sym_into(b, ops));
+                bin(SymBin::Max, a, b, ops)
+            }
+            SymExpr::Neg(a) => {
+                let a = self.lower_sym_into(a, ops);
+                let dst = ops.len() as u32;
+                ops.push(SymInstr::Neg { dst, a });
+                dst
+            }
+        }
+    }
+
+    /// Lower a memlet subset into a pre-classified access.  Range dimensions
+    /// are read at their start index, matching `Subset::eval_indices`.
+    fn lower_access(&mut self, subset: &dace_sdfg::Subset) -> PlanAccess {
+        match subset.classify() {
+            SubsetClass::All => PlanAccess::All,
+            SubsetClass::Element | SubsetClass::Other => PlanAccess::Element(
+                subset
+                    .0
+                    .iter()
+                    .map(|r| match r {
+                        dace_sdfg::IndexRange::Index(e) => self.lower_sym_expr(e),
+                        dace_sdfg::IndexRange::Range { start, .. } => self.lower_sym_expr(start),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn lower_graph(&mut self, graph: &DataflowGraph) -> PlanGraph {
+        let Some(order) = graph.topological_order() else {
+            return PlanGraph {
+                nodes: Vec::new(),
+                order: Vec::new(),
+                fail: Some(RuntimeError::CyclicGraph("<graph>".to_string())),
+            };
+        };
+        let nodes = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| match node {
+                DfNode::Access(name) => match self.array(name) {
+                    Ok(a) => PlanNode::Access(a),
+                    Err(e) => PlanNode::Fail(e),
+                },
+                DfNode::Tasklet(t) => match self.lower_tasklet(graph, id, t) {
+                    Ok(t) => PlanNode::Tasklet(t),
+                    Err(e) => PlanNode::Fail(e),
+                },
+                DfNode::MapScope(m) => match self.lower_map(m) {
+                    Ok(m) => PlanNode::Map(Box::new(m)),
+                    Err(e) => PlanNode::Fail(e),
+                },
+                DfNode::Library(op) => match self.lower_library(graph, id, op) {
+                    Ok(l) => PlanNode::Library(l),
+                    Err(e) => PlanNode::Fail(e),
+                },
+            })
+            .collect();
+        PlanGraph {
+            nodes,
+            order,
+            fail: None,
+        }
+    }
+
+    fn lower_tasklet(
+        &mut self,
+        graph: &DataflowGraph,
+        node: usize,
+        tasklet: &Tasklet,
+    ) -> Result<PlanTasklet, RuntimeError> {
+        // Resolve input connectors to slots, in edge order (later edges with
+        // the same connector overwrite earlier loads, as the map-based
+        // interpreter did).
+        let mut slot_of: HashMap<&str, u32> = HashMap::new();
+        let mut reads = Vec::new();
+        for e in graph.in_edges(node) {
+            let conn = e.dst_conn.as_deref().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet in-edge without connector".into())
+            })?;
+            let next = slot_of.len() as u32;
+            let slot = *slot_of.entry(conn).or_insert(next);
+            let array = self.array(&e.memlet.data)?;
+            let access = self.lower_access(&e.memlet.subset);
+            reads.push(PlanRead {
+                slot,
+                array,
+                access,
+            });
+        }
+        // Compile the assignments, promoting iteration symbols to extra
+        // slots loaded from the symbol file.
+        let mut n_slots = slot_of.len();
+        let mut iter_loads: Vec<(u32, u32)> = Vec::new();
+        let mut iter_slot_of: HashMap<String, u32> = HashMap::new();
+        let mut exprs = Vec::new();
+        // `slot_of` borrows connector names from `graph`; snapshot it into
+        // owned keys so the closure below can use it without lifetime knots.
+        let conn_slots: HashMap<String, u32> =
+            slot_of.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        for (_, expr) in &tasklet.code {
+            let compiled = {
+                let mut resolve = |leaf: LeafRef<'_>| -> Option<u32> {
+                    match leaf {
+                        LeafRef::Input(name) => conn_slots.get(name).copied(),
+                        LeafRef::Iter(name) => {
+                            if let Some(&slot) = iter_slot_of.get(name) {
+                                return Some(slot);
+                            }
+                            let slot = n_slots as u32;
+                            n_slots += 1;
+                            iter_slot_of.insert(name.to_string(), slot);
+                            let sym = self.syms.intern(name, &mut self.init_syms);
+                            iter_loads.push((slot, sym));
+                            Some(slot)
+                        }
+                    }
+                };
+                expr.compile(&mut resolve)
+            };
+            exprs.push(compiled.map_err(RuntimeError::Tasklet)?);
+        }
+        // Resolve output connectors to assignment indices.
+        let mut writes = Vec::new();
+        for e in graph.out_edges(node) {
+            let conn = e.src_conn.as_deref().ok_or_else(|| {
+                RuntimeError::Malformed("tasklet out-edge without connector".into())
+            })?;
+            let expr = tasklet
+                .code
+                .iter()
+                .position(|(out, _)| out == conn)
+                .ok_or_else(|| {
+                    RuntimeError::Malformed(format!(
+                        "tasklet `{}` has no assignment for connector `{conn}`",
+                        tasklet.label
+                    ))
+                })? as u32;
+            let array = self.array(&e.memlet.data)?;
+            let access = self.lower_access(&e.memlet.subset);
+            writes.push(PlanWrite {
+                expr,
+                array,
+                access,
+                accumulate: matches!(e.memlet.wcr, Some(Wcr::Sum)),
+            });
+        }
+        Ok(PlanTasklet {
+            reads,
+            iter_loads,
+            n_slots,
+            exprs,
+            writes,
+        })
+    }
+
+    fn lower_map(&mut self, map: &MapScope) -> Result<PlanMap, RuntimeError> {
+        let params: Vec<u32> = map.params.iter().map(|p| self.sym(p)).collect();
+        let ranges: Vec<(CIdx, CIdx)> = map
+            .ranges
+            .iter()
+            .map(|(s, e)| (self.lower_sym_expr(s), self.lower_sym_expr(e)))
+            .collect();
+        let mut referenced = Vec::new();
+        for name in map.body.referenced_arrays() {
+            referenced.push(self.array(&name)?);
+        }
+        let body = self.lower_graph(&map.body);
+        let parallel_safe = map
+            .body
+            .nodes
+            .iter()
+            .all(|n| matches!(n, DfNode::Access(_) | DfNode::Tasklet(_)))
+            && map
+                .body
+                .edges
+                .iter()
+                .all(|e| e.memlet.subset.is_element() || e.memlet.subset.is_all());
+        let body_tasklets = map
+            .body
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, DfNode::Tasklet(_)))
+            .count() as u64;
+        let elementwise = self.lower_elementwise(map);
+        Ok(PlanMap {
+            params,
+            ranges,
+            body,
+            referenced,
+            parallel: map.parallel,
+            parallel_safe,
+            body_tasklets,
+            elementwise,
+        })
+    }
+
+    /// Structural eligibility of the element-wise flat-loop fast path; the
+    /// remaining (size-dependent) conditions are checked per execution.
+    fn lower_elementwise(&mut self, map: &MapScope) -> Option<PlanElementwise> {
+        let mut tasklet_id = None;
+        for (i, n) in map.body.nodes.iter().enumerate() {
+            match n {
+                DfNode::Tasklet(_) => {
+                    if tasklet_id.is_some() {
+                        return None;
+                    }
+                    tasklet_id = Some(i);
+                }
+                DfNode::Access(_) => {}
+                _ => return None,
+            }
+        }
+        let tnode = tasklet_id?;
+        let DfNode::Tasklet(tasklet) = &map.body.nodes[tnode] else {
+            unreachable!()
+        };
+        if tasklet.code.len() != 1 {
+            return None;
+        }
+        let in_edges = map.body.in_edges(tnode);
+        let out_edges = map.body.out_edges(tnode);
+        if out_edges.len() != 1 || !out_edges[0].memlet.subset.is_identity_of(&map.params) {
+            return None;
+        }
+        if !in_edges
+            .iter()
+            .all(|e| e.memlet.subset.is_identity_of(&map.params))
+        {
+            return None;
+        }
+        let mut slot_of: HashMap<String, u32> = HashMap::new();
+        let mut reads = Vec::new();
+        for e in &in_edges {
+            let conn = e.dst_conn.as_deref()?;
+            let next = slot_of.len() as u32;
+            let slot = *slot_of.entry(conn.to_string()).or_insert(next);
+            let array = self.array(&e.memlet.data).ok()?;
+            reads.push((slot, array));
+        }
+        let out_array = self.array(&out_edges[0].memlet.data).ok()?;
+        let accumulate = matches!(out_edges[0].memlet.wcr, Some(Wcr::Sum));
+        // Compile the expression.  Map parameters may not appear as values
+        // (the flat loop does not materialise per-point indices); any other
+        // iteration symbol is loop-invariant and loaded once per execution.
+        let mut n_slots = slot_of.len();
+        let mut iter_loads: Vec<(u32, u32)> = Vec::new();
+        let mut iter_slot_of: HashMap<String, u32> = HashMap::new();
+        let (_, expr) = &tasklet.code[0];
+        let compiled = {
+            let params = &map.params;
+            let syms = &mut self.syms;
+            let init_syms = &mut self.init_syms;
+            let mut resolve = |leaf: LeafRef<'_>| -> Option<u32> {
+                match leaf {
+                    LeafRef::Input(name) => slot_of.get(name).copied(),
+                    LeafRef::Iter(name) => {
+                        if params.iter().any(|p| p == name) {
+                            return None;
+                        }
+                        if let Some(&slot) = iter_slot_of.get(name) {
+                            return Some(slot);
+                        }
+                        let slot = n_slots as u32;
+                        n_slots += 1;
+                        iter_slot_of.insert(name.to_string(), slot);
+                        iter_loads.push((slot, syms.intern(name, init_syms)));
+                        Some(slot)
+                    }
+                }
+            };
+            expr.compile(&mut resolve).ok()?
+        };
+        Some(PlanElementwise {
+            reads,
+            iter_loads,
+            n_slots,
+            expr: compiled,
+            out_array,
+            accumulate,
+        })
+    }
+
+    fn lower_library(
+        &mut self,
+        graph: &DataflowGraph,
+        node: usize,
+        op: &LibraryOp,
+    ) -> Result<PlanLibrary, RuntimeError> {
+        let mut inputs = Vec::new();
+        for e in graph.in_edges(node) {
+            let conn = e.dst_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("library in-edge without connector".into())
+            })?;
+            inputs.push((conn, self.array(&e.memlet.data)?));
+        }
+        let mut outputs = Vec::new();
+        for e in graph.out_edges(node) {
+            let conn = e.src_conn.clone().ok_or_else(|| {
+                RuntimeError::Malformed("library out-edge without connector".into())
+            })?;
+            outputs.push((conn, self.array(&e.memlet.data)?, e.memlet.wcr.is_some()));
+        }
+        Ok(PlanLibrary {
+            op: op.clone(),
+            inputs,
+            outputs,
+        })
+    }
+
+    fn lower_cf(&mut self, cf: &ControlFlow) -> PlanCf {
+        match cf {
+            ControlFlow::State(id) => PlanCf::State(*id),
+            ControlFlow::Sequence(children) => {
+                PlanCf::Seq(children.iter().map(|c| self.lower_cf(c)).collect())
+            }
+            ControlFlow::Loop(l) => PlanCf::Loop {
+                var: self.sym(&l.var),
+                start: self.lower_sym_expr(&l.start),
+                end: self.lower_sym_expr(&l.end),
+                step: self.lower_sym_expr(&l.step),
+                body: Box::new(self.lower_cf(&l.body)),
+            },
+            ControlFlow::Branch(b) => PlanCf::Branch {
+                cond: self.lower_cond(&b.cond),
+                then_body: Box::new(self.lower_cf(&b.then_body)),
+                else_body: b.else_body.as_ref().map(|e| Box::new(self.lower_cf(e))),
+            },
+        }
+    }
+
+    fn lower_cond(&mut self, cond: &CondExpr) -> PlanCond {
+        match cond {
+            CondExpr::Cmp { lhs, op, rhs } => {
+                let lhs = match self.lower_operand(lhs) {
+                    Ok(o) => o,
+                    Err(e) => return PlanCond::Fail(e),
+                };
+                let rhs = match self.lower_operand(rhs) {
+                    Ok(o) => o,
+                    Err(e) => return PlanCond::Fail(e),
+                };
+                PlanCond::Cmp { lhs, op: *op, rhs }
+            }
+            CondExpr::Not(inner) => PlanCond::Not(Box::new(self.lower_cond(inner))),
+            CondExpr::StoredFlag(name) => match self.array(name) {
+                Ok(a) => PlanCond::StoredFlag(a),
+                Err(e) => PlanCond::Fail(e),
+            },
+        }
+    }
+
+    fn lower_operand(&mut self, op: &CondOperand) -> Result<PlanOperand, RuntimeError> {
+        Ok(match op {
+            CondOperand::Const(v) => PlanOperand::Const(*v),
+            CondOperand::Sym(e) => PlanOperand::Sym(self.lower_sym_expr(e)),
+            CondOperand::Element { array, index } => PlanOperand::Element {
+                array: self.array(array)?,
+                index: index.iter().map(|e| self.lower_sym_expr(e)).collect(),
+            },
+        })
+    }
+}

@@ -62,6 +62,18 @@ impl IndexRange {
     }
 }
 
+/// Structural classification of a subset, computed once when an execution
+/// plan is compiled so hot loops never re-inspect the subset shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubsetClass {
+    /// The whole array (empty subset).
+    All,
+    /// A single element: every dimension is a scalar index.
+    Element,
+    /// Anything else (ranges or mixed range/index dimensions).
+    Other,
+}
+
 /// A subset of an array: one [`IndexRange`] per dimension.
 ///
 /// An empty subset denotes "the whole array" (used for full-array memlets
@@ -88,6 +100,27 @@ impl Subset {
     /// True if every dimension is a single index (an element access).
     pub fn is_element(&self) -> bool {
         !self.0.is_empty() && self.0.iter().all(|r| matches!(r, IndexRange::Index(_)))
+    }
+
+    /// Classify the subset structurally (whole-array / element / other).
+    pub fn classify(&self) -> SubsetClass {
+        if self.is_all() {
+            SubsetClass::All
+        } else if self.is_element() {
+            SubsetClass::Element
+        } else {
+            SubsetClass::Other
+        }
+    }
+
+    /// True if the subset indexes exactly by the given parameters, in order
+    /// (`A[i, j]` for params `[i, j]`).  This is the precondition for the
+    /// executor's element-wise flat-loop fast path.
+    pub fn is_identity_of(&self, params: &[String]) -> bool {
+        self.0.len() == params.len()
+            && self.0.iter().zip(params.iter()).all(
+                |(r, p)| matches!(r, IndexRange::Index(crate::symexpr::SymExpr::Sym(s)) if s == p),
+            )
     }
 
     /// Evaluate an element subset to a concrete multi-index.
@@ -245,6 +278,24 @@ mod tests {
         let s = format!("{m}");
         assert!(s.contains("A[i]"));
         assert!(s.contains("+="));
+    }
+
+    #[test]
+    fn classification_and_identity_detection() {
+        let params = vec!["i".to_string(), "j".to_string()];
+        let identity = Subset::indices(vec![SymExpr::sym("i"), SymExpr::sym("j")]);
+        assert_eq!(identity.classify(), SubsetClass::Element);
+        assert!(identity.is_identity_of(&params));
+        // Wrong order, wrong arity, and offset indices are not identities.
+        let swapped = Subset::indices(vec![SymExpr::sym("j"), SymExpr::sym("i")]);
+        assert!(!swapped.is_identity_of(&params));
+        let short = Subset::indices(vec![SymExpr::sym("i")]);
+        assert!(!short.is_identity_of(&params));
+        let offset = Subset::indices(vec![SymExpr::sym("i").add_int(1), SymExpr::sym("j")]);
+        assert!(!offset.is_identity_of(&params));
+        assert_eq!(Subset::all().classify(), SubsetClass::All);
+        let ranged = Subset(vec![IndexRange::range(SymExpr::int(0), SymExpr::sym("N"))]);
+        assert_eq!(ranged.classify(), SubsetClass::Other);
     }
 
     #[test]

@@ -353,6 +353,168 @@ impl ScalarExpr {
     }
 }
 
+/// A leaf reference encountered while compiling a [`ScalarExpr`]: either an
+/// input connector or an iteration symbol.  The resolver passed to
+/// [`ScalarExpr::compile`] maps each leaf to a slot index in the flat slot
+/// array the compiled expression is evaluated against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafRef<'a> {
+    /// An input-connector reference (`ScalarExpr::Input`).
+    Input(&'a str),
+    /// An iteration-symbol reference (`ScalarExpr::Iter`), promoted to `f64`.
+    Iter(&'a str),
+}
+
+/// One instruction of a compiled scalar expression.
+///
+/// Instructions form a flat single-assignment sequence over a dense register
+/// file: every instruction writes register `dst` exactly once, and operand
+/// registers are always written by earlier instructions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExprOp {
+    /// `regs[dst] = value`
+    Const { dst: u32, value: f64 },
+    /// `regs[dst] = slots[slot]` — load an external input/iteration value.
+    Slot { dst: u32, slot: u32 },
+    /// `regs[dst] = op(regs[a])`
+    Un { dst: u32, op: UnOp, a: u32 },
+    /// `regs[dst] = op(regs[a], regs[b])`
+    Bin { dst: u32, op: BinOp, a: u32, b: u32 },
+}
+
+/// A [`ScalarExpr`] lowered to a flat register-based instruction sequence.
+///
+/// Compilation resolves every `Input`/`Iter` leaf to a slot index once, so
+/// evaluation performs no name lookups and no allocation: it walks the
+/// instruction list over a caller-provided register file.  The tree-walking
+/// [`ScalarExpr::eval`] and the compiled form produce bit-identical results
+/// (the instruction stream applies the exact same operations in the same
+/// order), which is asserted by property tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledExpr {
+    ops: Vec<ExprOp>,
+    result: u32,
+    n_regs: u32,
+}
+
+impl CompiledExpr {
+    /// Number of registers the register file must hold.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs as usize
+    }
+
+    /// The compiled instruction sequence.
+    pub fn ops(&self) -> &[ExprOp] {
+        &self.ops
+    }
+
+    /// Evaluate over `slots` using `regs` as the register file.  `regs` is
+    /// grown on demand and reused across calls; evaluation itself performs no
+    /// heap allocation.
+    #[inline]
+    pub fn eval(&self, slots: &[f64], regs: &mut Vec<f64>) -> f64 {
+        if regs.len() < self.n_regs as usize {
+            regs.resize(self.n_regs as usize, 0.0);
+        }
+        for op in &self.ops {
+            match *op {
+                ExprOp::Const { dst, value } => regs[dst as usize] = value,
+                ExprOp::Slot { dst, slot } => regs[dst as usize] = slots[slot as usize],
+                ExprOp::Un { dst, op, a } => {
+                    let x = regs[a as usize];
+                    regs[dst as usize] = match op {
+                        UnOp::Neg => -x,
+                        UnOp::Sin => x.sin(),
+                        UnOp::Cos => x.cos(),
+                        UnOp::Exp => x.exp(),
+                        UnOp::Log => x.ln(),
+                        UnOp::Sqrt => x.sqrt(),
+                        UnOp::Tanh => x.tanh(),
+                        UnOp::Abs => x.abs(),
+                        UnOp::Relu => x.max(0.0),
+                        UnOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                    };
+                }
+                ExprOp::Bin { dst, op, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    regs[dst as usize] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Pow => x.powf(y),
+                        BinOp::Max => x.max(y),
+                        BinOp::Min => x.min(y),
+                    };
+                }
+            }
+        }
+        regs[self.result as usize]
+    }
+}
+
+impl ScalarExpr {
+    /// Compile the expression into a [`CompiledExpr`].
+    ///
+    /// `resolve` maps each `Input`/`Iter` leaf to a slot index; returning
+    /// `None` aborts compilation with the same message the tree-walking
+    /// evaluator would produce at run time for the missing name.
+    pub fn compile<F>(&self, resolve: &mut F) -> Result<CompiledExpr, String>
+    where
+        F: FnMut(LeafRef<'_>) -> Option<u32>,
+    {
+        let mut ops = Vec::new();
+        let result = self.compile_into(&mut ops, resolve)?;
+        Ok(CompiledExpr {
+            result,
+            n_regs: result + 1,
+            ops,
+        })
+    }
+
+    fn compile_into<F>(&self, ops: &mut Vec<ExprOp>, resolve: &mut F) -> Result<u32, String>
+    where
+        F: FnMut(LeafRef<'_>) -> Option<u32>,
+    {
+        let dst = match self {
+            ScalarExpr::Const(v) => {
+                let dst = ops.len() as u32;
+                ops.push(ExprOp::Const { dst, value: *v });
+                dst
+            }
+            ScalarExpr::Input(name) => {
+                let slot = resolve(LeafRef::Input(name))
+                    .ok_or_else(|| format!("missing tasklet input `{name}`"))?;
+                let dst = ops.len() as u32;
+                ops.push(ExprOp::Slot { dst, slot });
+                dst
+            }
+            ScalarExpr::Iter(name) => {
+                let slot = resolve(LeafRef::Iter(name))
+                    .ok_or_else(|| format!("missing iteration symbol `{name}`"))?;
+                let dst = ops.len() as u32;
+                ops.push(ExprOp::Slot { dst, slot });
+                dst
+            }
+            ScalarExpr::Un(op, a) => {
+                let a = a.compile_into(ops, resolve)?;
+                let dst = ops.len() as u32;
+                ops.push(ExprOp::Un { dst, op: *op, a });
+                dst
+            }
+            ScalarExpr::Bin(op, a, b) => {
+                let a = a.compile_into(ops, resolve)?;
+                let b = b.compile_into(ops, resolve)?;
+                let dst = ops.len() as u32;
+                ops.push(ExprOp::Bin { dst, op: *op, a, b });
+                dst
+            }
+        };
+        Ok(dst)
+    }
+}
+
 /// Expression evaluating to 1.0 when `a > b`, 0.0 when `a < b` and 0.5 at a
 /// tie, built from the available primitives (used for max/min sub-gradients —
 /// the 0.5 tie split matches `jnp.maximum`'s convention).
@@ -531,6 +693,58 @@ mod tests {
         let e = ScalarExpr::input("x").mul(ScalarExpr::input("x"));
         assert_eq!(e.inputs().len(), 1);
     }
+
+    /// Resolver for the compile tests: x -> slot 0, y -> slot 1, i -> slot 2.
+    fn test_resolver(leaf: LeafRef<'_>) -> Option<u32> {
+        match leaf {
+            LeafRef::Input("x") => Some(0),
+            LeafRef::Input("y") => Some(1),
+            LeafRef::Iter("i") => Some(2),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn compiled_expr_matches_tree_eval() {
+        let e = ScalarExpr::input("x")
+            .mul(ScalarExpr::input("y"))
+            .add(ScalarExpr::iter("i"))
+            .div(ScalarExpr::c(3.0));
+        let compiled = e.compile(&mut test_resolver).unwrap();
+        let slots = [2.5, -1.5, 4.0];
+        let mut regs = Vec::new();
+        let got = compiled.eval(&slots, &mut regs);
+        let tree = e
+            .eval(&inputs(&[("x", 2.5), ("y", -1.5)]), &{
+                let mut m = HashMap::new();
+                m.insert("i".to_string(), 4);
+                m
+            })
+            .unwrap();
+        assert_eq!(got.to_bits(), tree.to_bits());
+    }
+
+    #[test]
+    fn compile_reports_unresolved_leaves() {
+        let e = ScalarExpr::input("z");
+        let err = e.compile(&mut test_resolver).unwrap_err();
+        assert!(err.contains("missing tasklet input `z`"), "{err}");
+        let e = ScalarExpr::iter("k");
+        let err = e.compile(&mut test_resolver).unwrap_err();
+        assert!(err.contains("missing iteration symbol `k`"), "{err}");
+    }
+
+    #[test]
+    fn compiled_register_file_is_reused() {
+        let e = ScalarExpr::input("x").add(ScalarExpr::c(1.0));
+        let compiled = e.compile(&mut test_resolver).unwrap();
+        let mut regs = Vec::new();
+        assert_eq!(compiled.eval(&[1.0], &mut regs), 2.0);
+        let cap = regs.capacity();
+        assert_eq!(compiled.eval(&[5.0], &mut regs), 6.0);
+        assert_eq!(regs.capacity(), cap);
+        assert!(compiled.n_regs() >= compiled.ops().len());
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +766,36 @@ mod proptests {
                 inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Sin, a)),
                 inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Exp, a)),
                 inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Tanh, a)),
+            ]
+        })
+    }
+
+    /// Like `arb_expr` but with iteration-symbol leaves and the full unary /
+    /// binary operator set, for the compiled-evaluation equivalence test.
+    fn arb_compiled_expr() -> impl Strategy<Value = ScalarExpr> {
+        let leaf = prop_oneof![
+            (-3.0f64..3.0).prop_map(ScalarExpr::Const),
+            Just(ScalarExpr::input("x")),
+            Just(ScalarExpr::input("y")),
+            Just(ScalarExpr::iter("i")),
+        ];
+        leaf.prop_recursive(4, 48, 4, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Add, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Sub, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Mul, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Div, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Pow, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Max, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| ScalarExpr::bin(BinOp::Min, a, b)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Neg, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Sin, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Exp, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Sqrt, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Tanh, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Abs, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Relu, a)),
+                inner.clone().prop_map(|a| ScalarExpr::un(UnOp::Sigmoid, a)),
             ]
         })
     }
@@ -580,6 +824,31 @@ mod proptests {
                 prop_assert!((sym - fd).abs() <= 1e-3 * (1.0 + fd.abs()),
                     "expr {} wrt {}: sym {} vs fd {}", e, wrt, sym, fd);
             }
+        }
+
+        /// Compiled (register-based) evaluation is bit-identical to the
+        /// tree-walking evaluator on random expressions: both apply the same
+        /// operations in the same order, so even rounding must agree.
+        #[test]
+        fn compiled_matches_tree_eval(e in arb_compiled_expr(), x in -2.0f64..2.0, y in -2.0f64..2.0, i in -5i64..5) {
+            let mut at = HashMap::new();
+            at.insert("x".to_string(), x);
+            at.insert("y".to_string(), y);
+            let mut iters = HashMap::new();
+            iters.insert("i".to_string(), i);
+            let tree = e.eval(&at, &iters).unwrap();
+            let compiled = e.compile(&mut |leaf| match leaf {
+                LeafRef::Input("x") => Some(0),
+                LeafRef::Input("y") => Some(1),
+                LeafRef::Iter("i") => Some(2),
+                _ => None,
+            }).unwrap();
+            let mut regs = Vec::new();
+            let got = compiled.eval(&[x, y, i as f64], &mut regs);
+            prop_assert!(
+                got.to_bits() == tree.to_bits() || (got.is_nan() && tree.is_nan()),
+                "compiled {} vs tree {} for {}", got, tree, e
+            );
         }
 
         /// Simplification never changes the value.

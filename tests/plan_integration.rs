@@ -1,0 +1,151 @@
+//! Plan-compilation integration tests.
+//!
+//! The executor lowers every SDFG into a compiled execution plan before
+//! running it (interned ids, register-compiled expressions, precomputed
+//! orders).  These tests pin down the properties the plan layer must
+//! preserve on the golden-gradient kernels of the paper's evaluation
+//! (atax / gemm / mvt / seidel2d):
+//!
+//! * plan-compiled execution is **deterministic to the bit**: two runs of
+//!   the same engine produce bit-identical outputs and gradients;
+//! * the memory instrumentation is unchanged: `peak_bytes` is identical
+//!   across runs and strictly positive;
+//! * the gradients still cross-validate against the independent jax-rs
+//!   baseline implementation (`allclose`, §V-A of the paper);
+//! * execution counters are reproducible across runs.
+
+use dace_ad_repro::npbench::{kernel_by_name, Preset};
+use dace_ad_repro::prelude::*;
+use dace_ad_repro::runtime::MapPath;
+
+const KERNELS: [&str; 4] = ["atax", "gemm", "mvt", "seidel2d"];
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn plan_execution_is_bit_deterministic_on_golden_kernels() {
+    for name in KERNELS {
+        for strategy in [
+            CheckpointStrategy::StoreAll,
+            CheckpointStrategy::RecomputeAll,
+        ] {
+            let kernel = kernel_by_name(name).unwrap();
+            let sizes = kernel.sizes(Preset::Test);
+            let symbols = kernel.symbols(&sizes);
+            let inputs = kernel.inputs(&sizes);
+            let forward = kernel.build_dace(&sizes);
+            let engine = GradientEngine::new(
+                &forward,
+                "OUT",
+                &kernel.wrt(),
+                &symbols,
+                &AdOptions {
+                    strategy: strategy.clone(),
+                },
+            )
+            .unwrap_or_else(|e| panic!("{name}: engine construction failed: {e}"));
+
+            let first = engine.run(&inputs).unwrap();
+            let second = engine.run(&inputs).unwrap();
+
+            assert_eq!(
+                first.output_value.to_bits(),
+                second.output_value.to_bits(),
+                "{name} [{strategy:?}]: forward outputs are not bit-identical"
+            );
+            for wrt in kernel.wrt() {
+                assert_eq!(
+                    bits(&first.gradients[wrt]),
+                    bits(&second.gradients[wrt]),
+                    "{name} [{strategy:?}]: gradient of {wrt} is not bit-identical across runs"
+                );
+            }
+            assert!(first.report.peak_bytes > 0);
+            assert_eq!(
+                first.report.peak_bytes, second.report.peak_bytes,
+                "{name} [{strategy:?}]: peak_bytes changed across runs"
+            );
+            assert_eq!(
+                first.report.tasklet_invocations, second.report.tasklet_invocations,
+                "{name} [{strategy:?}]: tasklet counters changed across runs"
+            );
+            assert_eq!(first.report.map_points, second.report.map_points);
+            assert_eq!(
+                first.report.state_executions,
+                second.report.state_executions
+            );
+            assert_eq!(first.report.library_calls, second.report.library_calls);
+        }
+    }
+}
+
+#[test]
+fn plan_execution_cross_validates_against_jax_baseline() {
+    for name in KERNELS {
+        let kernel = kernel_by_name(name).unwrap();
+        let sizes = kernel.sizes(Preset::Test);
+        let symbols = kernel.symbols(&sizes);
+        let inputs = kernel.inputs(&sizes);
+        let forward = kernel.build_dace(&sizes);
+        let engine = GradientEngine::new(
+            &forward,
+            "OUT",
+            &kernel.wrt(),
+            &symbols,
+            &AdOptions::default(),
+        )
+        .unwrap();
+        let dace = engine.run(&inputs).unwrap();
+        let jax = kernel.run_jax(&sizes, &inputs);
+        assert!(
+            (dace.output_value - jax.output).abs() <= 1e-6 * (1.0 + jax.output.abs()),
+            "{name}: forward outputs differ"
+        );
+        for wrt in kernel.wrt() {
+            assert!(
+                allclose(&dace.gradients[wrt], &jax.gradients[wrt], 1e-5, 1e-7),
+                "{name}: gradient of {wrt} deviates from the jax-rs baseline"
+            );
+        }
+    }
+}
+
+/// The forced sequential path must agree bit-for-bit with the auto-selected
+/// (element-wise / parallel) paths on a full forward SDFG, and report the
+/// same memory peak.
+#[test]
+fn forced_sequential_path_matches_auto_on_golden_forward_passes() {
+    for name in KERNELS {
+        let kernel = kernel_by_name(name).unwrap();
+        let sizes = kernel.sizes(Preset::Test);
+        let symbols = kernel.symbols(&sizes);
+        let inputs = kernel.inputs(&sizes);
+        let forward = kernel.build_dace(&sizes);
+
+        let run_with = |path: MapPath| {
+            let mut ex = Executor::new(&forward, &symbols).unwrap();
+            ex.force_map_path(path);
+            for (n, t) in &inputs {
+                ex.set_input(n, t.clone()).unwrap();
+            }
+            let report = ex.run().unwrap();
+            let out = ex.array("OUT").unwrap().data()[0];
+            (out, report)
+        };
+        let (auto_out, auto_report) = run_with(MapPath::Auto);
+        let (seq_out, seq_report) = run_with(MapPath::Sequential);
+        assert_eq!(
+            auto_out.to_bits(),
+            seq_out.to_bits(),
+            "{name}: sequential path disagrees with auto path"
+        );
+        assert_eq!(auto_report.peak_bytes, seq_report.peak_bytes);
+        assert_eq!(auto_report.map_points, seq_report.map_points);
+        assert_eq!(
+            auto_report.tasklet_invocations,
+            seq_report.tasklet_invocations
+        );
+    }
+}
