@@ -25,7 +25,7 @@ fn bench_category(c: &mut Criterion, group_name: &str, category: Category) {
         let sdfg = kernel.build_dace(&sizes);
         let symbols = kernel.symbols(&sizes);
         let wrt = kernel.wrt();
-        let engine =
+        let mut engine =
             GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default()).unwrap();
         group.bench_with_input(
             BenchmarkId::new("dace_ad", kernel.name()),
@@ -59,7 +59,7 @@ fn fig12_seidel2d_sweep(c: &mut Criterion) {
         let sdfg = kernel.build_dace(&sizes);
         let symbols = kernel.symbols(&sizes);
         let wrt = kernel.wrt();
-        let engine =
+        let mut engine =
             GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("dace_ad", n), &inputs, |b, inputs| {
             b.iter(|| engine.run(inputs).unwrap())
@@ -121,7 +121,7 @@ fn fig13_ilp_checkpoint(c: &mut Criterion) {
         ),
     ];
     for (label, strategy) in strategies {
-        let engine =
+        let mut engine =
             GradientEngine::new(&fwd, "OUT", &["C", "D"], &symbols, &AdOptions { strategy })
                 .unwrap();
         group.bench_with_input(BenchmarkId::new(label, n), &inputs, |b, inputs| {

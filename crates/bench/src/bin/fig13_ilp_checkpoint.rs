@@ -70,7 +70,7 @@ fn main() {
                 store: store.clone(),
             },
         };
-        let engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
+        let mut engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
         let start = Instant::now();
         let result = engine.run(&inputs).unwrap();
         let elapsed = start.elapsed();
@@ -98,7 +98,7 @@ fn main() {
             memory_limit_bytes: limit,
         },
     };
-    let engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
+    let mut engine = GradientEngine::new(&fwd, "OUT", &wrt, &symbols, &opts).unwrap();
     let report = engine.plan().ilp_report.clone().unwrap();
     let start = Instant::now();
     let result = engine.run(&inputs).unwrap();

@@ -1,7 +1,11 @@
 //! Record or check perf baselines for the figure kernels.
 //!
 //! Record mode runs every NPBench kernel's DaCe-AD gradient at the chosen
-//! preset and writes one JSON object per kernel to the output file:
+//! preset — plus one `fd_validation` row timing a whole finite-difference
+//! validation sweep (always at a fixed small 12×10 atax size, since FD is the
+//! correctness-validation path), which guards the compile-once win: the
+//! sweep performs exactly one forward lowering instead of two per input
+//! element — and writes one JSON object per row to the output file:
 //!
 //! ```text
 //! record_baseline [--preset bench|test] [--reps N] [--out BENCH_baseline.json]
@@ -23,8 +27,8 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use npbench::runner::time_dace;
-use npbench::{all_kernels, Preset};
+use npbench::runner::{time_dace, time_fd_validation};
+use npbench::{all_kernels, kernel_by_name, Preset};
 
 struct Args {
     preset: Preset,
@@ -84,9 +88,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Measure every kernel, returning `name -> gradient time in ms`.  A kernel
-/// that fails to produce a gradient is a hard error: silently dropping it
-/// would let a broken kernel pass both record and compare modes.
+/// Measure every kernel (`name -> gradient time in ms`) plus the
+/// `fd_validation` row.  A kernel that fails to produce a gradient is a hard
+/// error: silently dropping it would let a broken kernel pass both record
+/// and compare modes.
 fn measure(preset: Preset, reps: usize) -> Result<BTreeMap<String, f64>, String> {
     let mut out = BTreeMap::new();
     let mut failures = Vec::new();
@@ -101,6 +106,22 @@ fn measure(preset: Preset, reps: usize) -> Result<BTreeMap<String, f64>, String>
                 eprintln!("{}: measurement failed: {e}", kernel.name());
                 failures.push(kernel.name().to_string());
             }
+        }
+    }
+    // Finite-difference validation sweep (atax at a fixed small size — FD
+    // is the validation path and is quadratic in the input size; 12×10
+    // gives a 240-evaluation sweep long enough to time stably).  Guards the
+    // compile-once property: one forward lowering per sweep, not 2·len.
+    let kernel = kernel_by_name("atax").expect("atax is registered");
+    let sizes = npbench::Sizes::new(12, 10, 0);
+    let inputs = kernel.inputs(&sizes);
+    match time_fd_validation(kernel.as_ref(), &sizes, &inputs, reps) {
+        Ok(t) => {
+            out.insert("fd_validation".to_string(), t.elapsed.as_secs_f64() * 1e3);
+        }
+        Err(e) => {
+            eprintln!("fd_validation: measurement failed: {e}");
+            failures.push("fd_validation".to_string());
         }
     }
     if failures.is_empty() {

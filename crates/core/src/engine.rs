@@ -1,10 +1,21 @@
 //! The gradient engine: ties together backward generation, checkpointing and
 //! execution, and provides finite-difference validation helpers.
+//!
+//! The engine follows the runtime's compile-once/run-many shape: `new`
+//! builds the gradient SDFG and compiles it **once** into a cached
+//! [`CompiledProgram`]; `run` binds inputs into a persistent [`Session`]
+//! (whose tensor slab is reused across runs) and executes.  Forward-only
+//! execution — used by [`GradientEngine::run_forward`] and the
+//! finite-difference validation loop — goes through a second cached program
+//! that is compiled lazily on first use.  Repeated `run` calls and a whole
+//! FD sweep therefore perform exactly one forward lowering and one gradient
+//! lowering, which the plan-cache counters on
+//! [`dace_runtime::ExecutionReport`] make observable.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use dace_runtime::{ExecutionReport, Executor, RuntimeError};
+use dace_runtime::{compile, CompiledProgram, ExecutionReport, RuntimeError, Session};
 use dace_sdfg::Sdfg;
 use dace_tensor::Tensor;
 
@@ -19,6 +30,18 @@ pub enum EngineError {
     Ad(AdError),
     /// Execution failed.
     Runtime(RuntimeError),
+    /// An input tensor was provided for a name the program does not declare
+    /// (typos used to be silently ignored).
+    UnknownInput(String),
+    /// The dependent output array does not exist after execution.
+    MissingOutput(String),
+    /// The dependent output exists but is not a scalar (length-1) container.
+    NonScalarOutput {
+        /// Name of the output array.
+        name: String,
+        /// Its actual shape.
+        shape: Vec<usize>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -26,6 +49,16 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Ad(e) => write!(f, "AD error: {e}"),
             EngineError::Runtime(e) => write!(f, "runtime error: {e}"),
+            EngineError::UnknownInput(name) => {
+                write!(f, "input tensor `{name}` does not name a program array")
+            }
+            EngineError::MissingOutput(name) => {
+                write!(f, "output array `{name}` does not exist after execution")
+            }
+            EngineError::NonScalarOutput { name, shape } => write!(
+                f,
+                "output array `{name}` has shape {shape:?}, expected a scalar (length 1)"
+            ),
         }
     }
 }
@@ -52,19 +85,31 @@ pub struct GradientResult {
     /// Value of the dependent output after the forward pass.
     pub output_value: f64,
     /// Execution report of the combined gradient program (single memory
-    /// timeline, as the paper measures it).
+    /// timeline, as the paper measures it), including the plan-cache
+    /// counters of the gradient program.
     pub report: ExecutionReport,
 }
 
-/// High-level driver: build the gradient SDFG once, run it many times.
+/// High-level driver: build and compile the gradient SDFG once, run it many
+/// times.
+///
+/// Holds two cached compiled programs: the gradient program (compiled in
+/// [`GradientEngine::new`]) and a forward-only program (compiled lazily by
+/// [`GradientEngine::run_forward`] / [`GradientEngine::finite_difference`]).
+/// Each has a persistent [`Session`] whose tensor slab is reused across
+/// runs, so repeated executions pay no lowering and no re-allocation cost.
 pub struct GradientEngine {
     plan: BackwardPlan,
     symbols: HashMap<String, i64>,
+    forward_sdfg: Sdfg,
+    gradient: Session,
+    forward: Option<Session>,
 }
 
 impl GradientEngine {
     /// Build the gradient program for `output` w.r.t. `inputs` under the
-    /// given symbol values and checkpointing options.
+    /// given symbol values and checkpointing options, and compile it into a
+    /// cached execution plan.
     pub fn new(
         forward: &Sdfg,
         output: &str,
@@ -75,7 +120,12 @@ impl GradientEngine {
         let mut plan = generate_backward(forward, output, inputs)?;
         let report = apply_strategy(&mut plan, &options.strategy, symbols)?;
         plan.ilp_report = Some(report);
+        let program = compile(&plan.sdfg, symbols)?;
+        let gradient = program.session().with_free_hints(&plan.free_hints);
         Ok(GradientEngine {
+            gradient,
+            forward: None,
+            forward_sdfg: forward.clone(),
             plan,
             symbols: symbols.clone(),
         })
@@ -86,27 +136,34 @@ impl GradientEngine {
         &self.plan
     }
 
+    /// The compiled gradient program (forward + backward in one SDFG).
+    pub fn gradient_program(&self) -> &CompiledProgram {
+        self.gradient.program()
+    }
+
+    /// The compiled forward-only program, if [`GradientEngine::run_forward`]
+    /// or [`GradientEngine::finite_difference`] has been called.
+    pub fn forward_program(&self) -> Option<&CompiledProgram> {
+        self.forward.as_ref().map(|s| s.program())
+    }
+
     /// Run the gradient program on concrete inputs.
-    pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<GradientResult, EngineError> {
-        let mut executor = Executor::new(&self.plan.sdfg, &self.symbols)?
-            .with_free_hints(self.plan.free_hints.clone());
-        for (name, tensor) in inputs {
-            if let Some(desc) = self.plan.sdfg.arrays.get(name) {
-                if !desc.transient {
-                    executor.set_input(name, tensor.clone())?;
-                }
-            }
-        }
-        let report = executor.run()?;
-        let arrays = executor.into_arrays();
-        let output_value = arrays
-            .get(&self.plan.output)
-            .and_then(|t| t.data().first().copied())
-            .unwrap_or(f64::NAN);
+    ///
+    /// Inputs must name non-transient arrays of the gradient program
+    /// (forward arrays that checkpointing demoted to transients are
+    /// accepted and ignored, since the program recomputes them); any other
+    /// name is an [`EngineError::UnknownInput`].  The dependent output must
+    /// exist and be scalar, otherwise [`EngineError::MissingOutput`] /
+    /// [`EngineError::NonScalarOutput`] is raised instead of the old
+    /// silent-`NaN` behaviour.
+    pub fn run(&mut self, inputs: &HashMap<String, Tensor>) -> Result<GradientResult, EngineError> {
+        bind_inputs(&self.plan.sdfg, &mut self.gradient, inputs, None)?;
+        let report = self.gradient.run()?;
+        let output_value = read_scalar_output(&self.gradient, &self.plan.output)?;
         let mut gradients = BTreeMap::new();
         for input in &self.plan.inputs {
             if let Some(gname) = self.plan.gradients.get(input) {
-                if let Some(g) = arrays.get(gname) {
+                if let Some(g) = self.gradient.array(gname) {
                     gradients.insert(input.clone(), g.clone());
                 }
             }
@@ -117,32 +174,111 @@ impl GradientEngine {
             report,
         })
     }
+
+    /// Run only the forward SDFG and return the scalar value of the
+    /// dependent output, using the engine's cached forward-only program
+    /// (compiled on first call).
+    pub fn run_forward(&mut self, inputs: &HashMap<String, Tensor>) -> Result<f64, EngineError> {
+        self.run_forward_with(inputs, None)
+    }
+
+    fn run_forward_with(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+        override_binding: Option<(&str, &Tensor)>,
+    ) -> Result<f64, EngineError> {
+        if self.forward.is_none() {
+            self.forward = Some(compile(&self.forward_sdfg, &self.symbols)?.session());
+        }
+        let session = self.forward.as_mut().expect("just compiled");
+        bind_inputs(&self.forward_sdfg, session, inputs, override_binding)?;
+        session.run()?;
+        read_scalar_output(session, &self.plan.output)
+    }
+
+    /// Central finite-difference gradient of the output w.r.t. `input`,
+    /// evaluated through the engine's cached forward program: the whole
+    /// sweep (2 × len forward executions) performs at most one lowering.
+    pub fn finite_difference(
+        &mut self,
+        input: &str,
+        inputs: &HashMap<String, Tensor>,
+        epsilon: f64,
+    ) -> Result<Tensor, EngineError> {
+        let base = inputs
+            .get(input)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownInput(input.to_string()))?;
+        central_difference(&base, epsilon, |perturbed| {
+            self.run_forward_with(inputs, Some((input, perturbed)))
+        })
+    }
+}
+
+/// Bind `inputs` into a session, validating names against the SDFG's
+/// containers: unknown names are typed errors, transients are skipped (the
+/// program computes them itself).  `override_binding` substitutes one
+/// tensor by name without cloning the whole input map (the FD hot path —
+/// every tensor must still be rebound per run because the program may
+/// mutate its inputs in place).
+fn bind_inputs(
+    sdfg: &Sdfg,
+    session: &mut Session,
+    inputs: &HashMap<String, Tensor>,
+    override_binding: Option<(&str, &Tensor)>,
+) -> Result<(), EngineError> {
+    session.clear_bindings();
+    for (name, tensor) in inputs {
+        let tensor = match override_binding {
+            Some((oname, otensor)) if oname == name => otensor,
+            _ => tensor,
+        };
+        match sdfg.arrays.get(name) {
+            None => return Err(EngineError::UnknownInput(name.clone())),
+            Some(desc) if desc.transient => {}
+            Some(_) => session.set_input(name, tensor.clone())?,
+        }
+    }
+    Ok(())
+}
+
+/// Read the scalar value of the dependent output from a finished session.
+fn read_scalar_output(session: &Session, name: &str) -> Result<f64, EngineError> {
+    let t = session
+        .array(name)
+        .ok_or_else(|| EngineError::MissingOutput(name.to_string()))?;
+    if t.len() != 1 {
+        return Err(EngineError::NonScalarOutput {
+            name: name.to_string(),
+            shape: t.shape().to_vec(),
+        });
+    }
+    Ok(t.data()[0])
 }
 
 /// Run only the forward SDFG and return the scalar value of `output`.
+///
+/// Compiles through the process-wide plan cache, so repeated calls with the
+/// same SDFG and symbols lower it once; callers that loop should prefer
+/// [`GradientEngine::run_forward`], which also reuses its tensor slab.
 pub fn run_forward_scalar(
     forward: &Sdfg,
     output: &str,
     symbols: &HashMap<String, i64>,
     inputs: &HashMap<String, Tensor>,
 ) -> Result<f64, EngineError> {
-    let mut executor = Executor::new(forward, symbols)?;
-    for (name, tensor) in inputs {
-        if let Some(desc) = forward.arrays.get(name) {
-            if !desc.transient {
-                executor.set_input(name, tensor.clone())?;
-            }
-        }
-    }
-    executor.run()?;
-    Ok(executor
-        .array(output)
-        .and_then(|t| t.data().first().copied())
-        .unwrap_or(f64::NAN))
+    let mut session = compile(forward, symbols)?.session();
+    bind_inputs(forward, &mut session, inputs, None)?;
+    session.run()?;
+    read_scalar_output(&session, output)
 }
 
 /// Central finite-difference gradient of `output` w.r.t. `input`, used to
 /// validate the AD engine on small problem sizes.
+///
+/// The forward SDFG is compiled **once** (through the plan cache) and a
+/// single session's tensor slab is reused for all `2 × len` evaluations; the
+/// old implementation re-lowered the SDFG for every perturbation.
 pub fn finite_difference_gradient(
     forward: &Sdfg,
     output: &str,
@@ -154,19 +290,30 @@ pub fn finite_difference_gradient(
     let base = inputs
         .get(input)
         .cloned()
-        .ok_or_else(|| EngineError::Ad(AdError::UnknownInput(input.to_string())))?;
+        .ok_or_else(|| EngineError::UnknownInput(input.to_string()))?;
+    let mut session = compile(forward, symbols)?.session();
+    central_difference(&base, epsilon, |perturbed| {
+        bind_inputs(forward, &mut session, inputs, Some((input, perturbed)))?;
+        session.run()?;
+        read_scalar_output(&session, output)
+    })
+}
+
+/// Central-difference sweep shared by [`GradientEngine::finite_difference`]
+/// and [`finite_difference_gradient`]: perturb one element at a time in a
+/// single reused tensor and evaluate the forward program through `eval`.
+fn central_difference<F>(base: &Tensor, epsilon: f64, mut eval: F) -> Result<Tensor, EngineError>
+where
+    F: FnMut(&Tensor) -> Result<f64, EngineError>,
+{
     let mut grad = Tensor::zeros(base.shape());
+    let mut perturbed = base.clone();
     for flat in 0..base.len() {
-        let mut plus = inputs.clone();
-        let mut minus = inputs.clone();
-        let mut tp = base.clone();
-        tp.data_mut()[flat] += epsilon;
-        plus.insert(input.to_string(), tp);
-        let mut tm = base.clone();
-        tm.data_mut()[flat] -= epsilon;
-        minus.insert(input.to_string(), tm);
-        let fp = run_forward_scalar(forward, output, symbols, &plus)?;
-        let fm = run_forward_scalar(forward, output, symbols, &minus)?;
+        perturbed.data_mut()[flat] = base.data()[flat] + epsilon;
+        let fp = eval(&perturbed)?;
+        perturbed.data_mut()[flat] = base.data()[flat] - epsilon;
+        let fm = eval(&perturbed)?;
+        perturbed.data_mut()[flat] = base.data()[flat];
         grad.data_mut()[flat] = (fp - fm) / (2.0 * epsilon);
     }
     Ok(grad)
@@ -192,7 +339,8 @@ mod tests {
         inputs: &HashMap<String, Tensor>,
         tol: f64,
     ) {
-        let engine = GradientEngine::new(fwd, output, wrt, symbols, &AdOptions::default()).unwrap();
+        let mut engine =
+            GradientEngine::new(fwd, output, wrt, symbols, &AdOptions::default()).unwrap();
         let result = engine.run(inputs).unwrap();
         for input in wrt {
             let ad = &result.gradients[*input];
@@ -217,7 +365,7 @@ mod tests {
         b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(3.0)));
         b.sum_into("OUT", "Y", false);
         let fwd = b.build().unwrap();
-        let engine = GradientEngine::new(
+        let mut engine = GradientEngine::new(
             &fwd,
             "OUT",
             &["X"],
@@ -376,18 +524,18 @@ mod tests {
         inputs.insert("C".to_string(), uniform(&[16, 16], 21));
         inputs.insert("D".to_string(), uniform(&[16, 16], 22));
 
-        let store =
+        let mut store =
             GradientEngine::new(&fwd, "OUT", &["C", "D"], &syms, &AdOptions::default()).unwrap();
         let store_res = store.run(&inputs).unwrap();
 
-        let recompute = GradientEngine::new(
+        let mut recompute = GradientEngine::new(
             &fwd,
             "OUT",
             &["C", "D"],
             &syms,
-            &AdOptions {
-                strategy: CheckpointStrategy::RecomputeAll,
-            },
+            &AdOptions::builder()
+                .strategy(CheckpointStrategy::RecomputeAll)
+                .build(),
         )
         .unwrap();
         let rec_res = recompute.run(&inputs).unwrap();
@@ -404,5 +552,84 @@ mod tests {
             rec_res.report.peak_bytes,
             store_res.report.peak_bytes
         );
+    }
+
+    #[test]
+    fn unknown_input_is_a_typed_error() {
+        let mut b = ProgramBuilder::new("typo");
+        let n = b.symbol("N");
+        b.add_input("X", vec![n.clone()]).unwrap();
+        b.add_transient("Y", vec![n.clone()]).unwrap();
+        b.add_scalar("OUT").unwrap();
+        b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(2.0)));
+        b.sum_into("OUT", "Y", false);
+        let fwd = b.build().unwrap();
+        let syms = symbols(&[("N", 4)]);
+        let mut engine =
+            GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("X".to_string(), uniform(&[4], 1));
+        inputs.insert("Xtypo".to_string(), uniform(&[4], 1));
+        match engine.run(&inputs) {
+            Err(EngineError::UnknownInput(name)) => assert_eq!(name, "Xtypo"),
+            other => panic!("expected UnknownInput, got {other:?}"),
+        }
+        // The free helpers validate the same way.
+        match run_forward_scalar(&fwd, "OUT", &syms, &inputs) {
+            Err(EngineError::UnknownInput(name)) => assert_eq!(name, "Xtypo"),
+            other => panic!("expected UnknownInput, got {other:?}"),
+        }
+        inputs.remove("Xtypo");
+        assert!(engine.run(&inputs).is_ok());
+    }
+
+    #[test]
+    fn missing_and_nonscalar_outputs_are_typed_errors() {
+        let mut b = ProgramBuilder::new("vecout");
+        let n = b.symbol("N");
+        b.add_input("X", vec![n.clone()]).unwrap();
+        b.add_input("Y", vec![n.clone()]).unwrap();
+        b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(2.0)));
+        let fwd = b.build().unwrap();
+        let syms = symbols(&[("N", 4)]);
+        let mut inputs = HashMap::new();
+        inputs.insert("X".to_string(), uniform(&[4], 1));
+        // Y exists but is a length-4 vector, not a scalar output.
+        match run_forward_scalar(&fwd, "Y", &syms, &inputs) {
+            Err(EngineError::NonScalarOutput { name, shape }) => {
+                assert_eq!(name, "Y");
+                assert_eq!(shape, vec![4]);
+            }
+            other => panic!("expected NonScalarOutput, got {other:?}"),
+        }
+        // NOPE is not an array at all.
+        match run_forward_scalar(&fwd, "NOPE", &syms, &inputs) {
+            Err(EngineError::MissingOutput(name)) => assert_eq!(name, "NOPE"),
+            other => panic!("expected MissingOutput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_fd_uses_one_forward_lowering() {
+        let mut b = ProgramBuilder::new("fdcached");
+        let n = b.symbol("N");
+        b.add_input("X", vec![n.clone()]).unwrap();
+        b.add_transient("T", vec![n.clone()]).unwrap();
+        b.add_scalar("OUT").unwrap();
+        b.assign("T", ArrayExpr::a("X").sin());
+        b.sum_into("OUT", "T", false);
+        let fwd = b.build().unwrap();
+        let syms = symbols(&[("N", 6)]);
+        let mut inputs = HashMap::new();
+        inputs.insert("X".to_string(), uniform(&[6], 3));
+        let mut engine =
+            GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+        assert!(engine.forward_program().is_none());
+        let fd = engine.finite_difference("X", &inputs, 1e-6).unwrap();
+        let ad = engine.run(&inputs).unwrap();
+        assert!(dace_tensor::allclose(&ad.gradients["X"], &fd, 1e-4, 1e-7));
+        // The 12 forward evaluations of the sweep share one lowered plan.
+        let stats = engine.forward_program().unwrap().cache_stats();
+        assert_eq!(stats.misses, 1, "FD sweep must lower the forward SDFG once");
     }
 }

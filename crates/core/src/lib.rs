@@ -36,7 +36,7 @@ pub mod engine;
 pub mod reverse;
 
 pub use checkpoint::{CheckpointReport, RecomputeCandidate};
-pub use engine::{GradientEngine, GradientResult};
+pub use engine::{EngineError, GradientEngine, GradientResult};
 pub use reverse::{generate_backward, AdError, BackwardPlan};
 
 /// Strategy for the store-vs-recompute (re-materialisation) trade-off.
@@ -62,6 +62,17 @@ pub enum CheckpointStrategy {
 }
 
 /// Options controlling backward-pass generation.
+///
+/// Construct with [`AdOptions::default`] (store-all), a struct literal, or
+/// the fluent [`AdOptions::builder`]:
+///
+/// ```
+/// use dace_ad::{AdOptions, CheckpointStrategy};
+/// let opts = AdOptions::builder()
+///     .strategy(CheckpointStrategy::RecomputeAll)
+///     .build();
+/// assert_eq!(opts.strategy, CheckpointStrategy::RecomputeAll);
+/// ```
 #[derive(Clone, Debug)]
 pub struct AdOptions {
     /// Store/recompute strategy.
@@ -76,6 +87,41 @@ impl Default for AdOptions {
     }
 }
 
+impl AdOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> AdOptionsBuilder {
+        AdOptionsBuilder {
+            options: AdOptions::default(),
+        }
+    }
+
+    /// Builder-style convenience for an ILP strategy under a byte limit.
+    pub fn with_memory_limit(memory_limit_bytes: usize) -> AdOptions {
+        AdOptions {
+            strategy: CheckpointStrategy::Ilp { memory_limit_bytes },
+        }
+    }
+}
+
+/// Fluent builder for [`AdOptions`] (see [`AdOptions::builder`]).
+#[derive(Clone, Debug)]
+pub struct AdOptionsBuilder {
+    options: AdOptions,
+}
+
+impl AdOptionsBuilder {
+    /// Set the store/recompute strategy.
+    pub fn strategy(mut self, strategy: CheckpointStrategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> AdOptions {
+        self.options
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +129,23 @@ mod tests {
     #[test]
     fn default_options_store_all() {
         assert_eq!(AdOptions::default().strategy, CheckpointStrategy::StoreAll);
+    }
+
+    #[test]
+    fn builder_sets_strategy() {
+        let opts = AdOptions::builder()
+            .strategy(CheckpointStrategy::RecomputeAll)
+            .build();
+        assert_eq!(opts.strategy, CheckpointStrategy::RecomputeAll);
+        assert_eq!(
+            AdOptions::builder().build().strategy,
+            CheckpointStrategy::StoreAll
+        );
+        assert_eq!(
+            AdOptions::with_memory_limit(1024).strategy,
+            CheckpointStrategy::Ilp {
+                memory_limit_bytes: 1024
+            }
+        );
     }
 }

@@ -490,7 +490,7 @@ fn elem_expr_to_scalar(
 mod tests {
     use super::*;
     use crate::expr::{elem, lit};
-    use dace_runtime::Executor;
+    use dace_runtime::compile;
     use dace_tensor::Tensor;
 
     fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
@@ -511,7 +511,7 @@ mod tests {
                 .add(ArrayExpr::s(1.0)),
         );
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 4)])).unwrap().session();
         ex.set_input(
             "X",
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
@@ -535,7 +535,7 @@ mod tests {
         b.accumulate("Z", ArrayExpr::a("X"));
         b.accumulate("Z", ArrayExpr::a("X"));
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 3)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 3)])).unwrap().session();
         ex.set_input("X", Tensor::ones(&[3])).unwrap();
         ex.set_input("Z", Tensor::ones(&[3])).unwrap();
         ex.run().unwrap();
@@ -553,7 +553,7 @@ mod tests {
         let sdfg = b.build().unwrap();
         let a = dace_tensor::random::uniform(&[3, 3], 1);
         let bt = dace_tensor::random::uniform(&[3, 3], 2);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 3)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 3)])).unwrap().session();
         ex.set_input("A", a.clone()).unwrap();
         ex.set_input("B", bt.clone()).unwrap();
         ex.run().unwrap();
@@ -579,7 +579,7 @@ mod tests {
             );
         });
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 4)])).unwrap().session();
         ex.set_input(
             "X",
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
@@ -604,7 +604,7 @@ mod tests {
             elem("X", vec![i.add_int(1)]).sub(elem("X", vec![i.clone()])),
         );
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 4)])).unwrap().session();
         ex.set_input(
             "X",
             Tensor::from_vec(vec![1.0, 3.0, 6.0, 10.0], &[4]).unwrap(),
@@ -622,7 +622,7 @@ mod tests {
         b.add_scalar("S").unwrap();
         b.sum_into("S", "X", false);
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 5)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 5)])).unwrap().session();
         ex.set_input("X", Tensor::full(&[5], 2.0)).unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("S").unwrap().data()[0], 10.0);
@@ -649,7 +649,7 @@ mod tests {
             })),
         );
         let sdfg = b.build().unwrap();
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = compile(&sdfg, &HashMap::new()).unwrap().session();
         ex.set_input("P", Tensor::from_vec(vec![-1.0], &[1]).unwrap())
             .unwrap();
         ex.run().unwrap();
@@ -671,7 +671,7 @@ mod tests {
         });
         let sdfg = b.build().unwrap();
         assert!(sdfg.arrays["T"].transient);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 3)])).unwrap();
+        let mut ex = compile(&sdfg, &symbols(&[("N", 3)])).unwrap().session();
         ex.set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap())
             .unwrap();
         ex.run().unwrap();

@@ -18,7 +18,7 @@ pub fn run_dace_gradients(
     let sdfg = kernel.build_dace(sizes);
     let symbols = kernel.symbols(sizes);
     let wrt = kernel.wrt();
-    let engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
+    let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
         .map_err(|e| e.to_string())?;
     let result = engine.run(inputs).map_err(|e| e.to_string())?;
     Ok(GradOutput {
@@ -47,7 +47,7 @@ pub fn time_dace(
     let sdfg = kernel.build_dace(sizes);
     let symbols = kernel.symbols(sizes);
     let wrt = kernel.wrt();
-    let engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
+    let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
         .map_err(|e| e.to_string())?;
     // Warm-up run (mirrors the paper's methodology).
     let warm = engine.run(inputs).map_err(|e| e.to_string())?;
@@ -60,6 +60,39 @@ pub fn time_dace(
     Ok(Timing {
         elapsed: best,
         output: warm.output_value,
+    })
+}
+
+/// Time one full finite-difference validation sweep of a kernel: the central
+/// FD gradient of `OUT` w.r.t. the kernel's first `wrt` input (`2 × len`
+/// forward executions).  With the compile-once API the whole sweep performs
+/// exactly one forward lowering, which is what the `fd_validation` baseline
+/// entry guards.
+pub fn time_fd_validation(
+    kernel: &dyn Kernel,
+    sizes: &Sizes,
+    inputs: &HashMap<String, Tensor>,
+    repetitions: usize,
+) -> Result<Timing, String> {
+    let sdfg = kernel.build_dace(sizes);
+    let symbols = kernel.symbols(sizes);
+    let wrt = *kernel
+        .wrt()
+        .first()
+        .ok_or_else(|| "kernel has no differentiable inputs".to_string())?;
+    let mut best = Duration::MAX;
+    let mut output = 0.0;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let grad =
+            dace_ad::engine::finite_difference_gradient(&sdfg, "OUT", wrt, &symbols, inputs, 1e-6)
+                .map_err(|e| e.to_string())?;
+        best = best.min(start.elapsed());
+        output = grad.sum();
+    }
+    Ok(Timing {
+        elapsed: best,
+        output,
     })
 }
 

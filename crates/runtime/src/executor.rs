@@ -1,14 +1,16 @@
 //! The SDFG interpreter, driven by a compiled execution plan.
 //!
-//! This executor stands in for DaCe's C/OpenMP code generator plus CPU
-//! runtime.  Construction lowers the SDFG once into an
-//! [`crate::plan::ExecPlan`] (interned array/symbol ids, precomputed
-//! topological orders, pre-classified memlet subsets, register-compiled
-//! tasklet expressions); `run` then walks the plan, so the hot loops
-//! (sequential maps, the element-wise fast path, and the snapshot-based
-//! parallel path) touch no string keys and perform no per-iteration clones
-//! or allocations.  The parallel path fans out over a persistent rayon
-//! worker pool with one register file per chunk.
+//! This module holds the plan *walker*: the hot loops (sequential maps, the
+//! element-wise fast path, and the snapshot-based parallel path) touch no
+//! string keys and perform no per-iteration clones or allocations.  The
+//! parallel path fans out over a persistent rayon worker pool with one
+//! register file per chunk.
+//!
+//! The public entry point is the compile-once API at the crate root:
+//! [`crate::compile`] lowers the SDFG into a [`crate::CompiledProgram`]
+//! (with plan caching) and [`crate::Session`] drives the walker defined
+//! here.  The [`Executor`] type in this module is a deprecated shim kept
+//! for source compatibility; it simply wraps a `Session`.
 //!
 //! Memory is tracked with [`crate::memory::MemoryTracker`]: non-transient
 //! inputs are counted at start, transients are allocated lazily at first
@@ -17,28 +19,34 @@
 //! early so that peak-memory measurements reflect store/recompute choices.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rayon::prelude::*;
 
-use dace_sdfg::{CondExpr, CondOperand, LibraryOp, Sdfg, Subset};
+use dace_sdfg::{CondExpr, LibraryOp, Sdfg, Subset};
 use dace_tensor::Tensor;
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::memory::MemoryTracker;
 use crate::plan::{
-    compile_plan, CIdx, ExecPlan, Layout, PlanAccess, PlanCf, PlanCond, PlanElementwise, PlanGraph,
-    PlanLibrary, PlanMap, PlanNode, PlanOperand, PlanTasklet, SymFile,
+    CIdx, ExecPlan, Layout, PlanAccess, PlanCf, PlanCond, PlanElementwise, PlanGraph, PlanLibrary,
+    PlanMap, PlanNode, PlanOperand, PlanTasklet, SymFile,
 };
+use crate::program::Session;
 
 /// Execution statistics and instrumentation results.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionReport {
     /// Wall-clock time of the `run` call.
     pub elapsed: Duration,
-    /// Peak bytes of live containers during execution.
+    /// Peak bytes of *logically live* containers during execution, as
+    /// tracked by [`crate::MemoryTracker`] (the analytic model the
+    /// checkpointing experiments measure).  Tensors released by free hints
+    /// are parked in the session's recycle pool for in-place reuse, so the
+    /// process-resident footprint can exceed this figure by the pooled
+    /// bytes.
     pub peak_bytes: usize,
-    /// Bytes live at the end of execution.
+    /// Bytes logically live at the end of execution.
     pub final_bytes: usize,
     /// Number of tasklet evaluations.
     pub tasklet_invocations: u64,
@@ -48,6 +56,13 @@ pub struct ExecutionReport {
     pub state_executions: u64,
     /// Number of library-node expansions executed.
     pub library_calls: u64,
+    /// Plan-cache hits recorded for this program's cache entry (snapshot at
+    /// the end of the run; see [`crate::PlanCacheStats`]).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses for this program's cache entry — the number of
+    /// times this (SDFG, symbols) pair was actually lowered.  Stays at `1`
+    /// across repeated runs of a cached program.
+    pub plan_cache_misses: u64,
 }
 
 /// Minimum number of map points before the parallel (rayon) path is used.
@@ -75,7 +90,7 @@ pub enum MapPath {
 /// output values.  One `Scratch` lives per executor; the parallel map path
 /// creates one per chunk.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     slots: Vec<f64>,
     f_regs: Vec<f64>,
     i_regs: Vec<i64>,
@@ -91,216 +106,114 @@ struct BufferedWrite {
 }
 
 /// Mutable execution state, separated from the immutable plan so the
-/// recursive walkers can borrow both disjointly.
-struct RunState {
-    slab: Vec<Option<Tensor>>,
-    syms: SymFile,
-    tracker: MemoryTracker,
-    report: ExecutionReport,
-    free_hints: Vec<Vec<u32>>,
-    scratch: Scratch,
-    path: MapPath,
+/// recursive walkers can borrow both disjointly.  Owned by
+/// [`crate::Session`]; the walker methods live here.
+pub(crate) struct RunState {
+    pub(crate) slab: Vec<Option<Tensor>>,
+    /// Recycled transient tensors: when a run (or a free hint) releases a
+    /// transient, its allocation parks here and `ensure_allocated` reuses it
+    /// (zero-filled in place) instead of allocating a fresh tensor.
+    pub(crate) pool: Vec<Option<Tensor>>,
+    pub(crate) syms: SymFile,
+    pub(crate) tracker: MemoryTracker,
+    pub(crate) report: ExecutionReport,
+    pub(crate) free_hints: Vec<Vec<u32>>,
+    pub(crate) scratch: Scratch,
+    pub(crate) path: MapPath,
 }
 
-/// The SDFG interpreter.
+/// The legacy coupled compile-and-run interface: a thin wrapper over
+/// [`crate::compile`] + [`Session`] kept for source compatibility.
+///
+/// New code should call [`crate::compile`] once and open [`Session`]s from
+/// the resulting [`crate::CompiledProgram`]; that shape shares lowered plans
+/// through the plan cache and reuses the tensor slab across runs.
 pub struct Executor {
-    symbols: HashMap<String, i64>,
-    plan: ExecPlan,
-    st: RunState,
+    session: Session,
 }
 
 impl Executor {
-    /// Create an executor for an SDFG with concrete symbol values.  The SDFG
-    /// is lowered into an execution plan here, once; `run` only walks it.
+    /// Create an executor for an SDFG with concrete symbol values.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `dace_runtime::compile(sdfg, symbols)?.session()`; a `Session` reuses \
+                the compiled plan (via the plan cache) and its tensor slab across runs"
+    )]
     pub fn new(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Self> {
-        for s in &sdfg.symbols {
-            if !symbols.contains_key(s) {
-                return Err(RuntimeError::MissingSymbol(s.clone()));
-            }
-        }
-        let plan = compile_plan(sdfg, symbols);
-        let n_arrays = plan.arrays.names.len();
-        let n_states = plan.states.len();
-        let syms = plan.init_syms.clone();
         Ok(Executor {
-            symbols: symbols.clone(),
-            st: RunState {
-                slab: vec![None; n_arrays],
-                syms,
-                tracker: MemoryTracker::new(),
-                report: ExecutionReport::default(),
-                free_hints: vec![Vec::new(); n_states],
-                scratch: Scratch::default(),
-                path: MapPath::Auto,
-            },
-            plan,
+            session: crate::program::compile(sdfg, symbols)?.session(),
         })
     }
 
-    /// Attach per-state free hints: after executing state `id`, the listed
-    /// transient containers are deallocated (used by the AD engine to bound
-    /// the footprint of recomputation blocks).
+    /// Attach per-state free hints (see [`Session::set_free_hints`]).
     pub fn with_free_hints(mut self, hints: HashMap<usize, Vec<String>>) -> Self {
-        let mut resolved = vec![Vec::new(); self.plan.states.len()];
-        for (state, names) in hints {
-            if state < resolved.len() {
-                for name in names {
-                    if let Some(id) = self.plan.arrays.id(&name) {
-                        resolved[state].push(id);
-                    }
-                }
-            }
-        }
-        self.st.free_hints = resolved;
+        self.session.set_free_hints(&hints);
         self
     }
 
     /// Force a map execution path (testing/instrumentation knob).
     pub fn force_map_path(&mut self, path: MapPath) {
-        self.st.path = path;
+        self.session.force_map_path(path);
     }
 
     /// Provide an input (non-transient) array.
     pub fn set_input(&mut self, name: &str, tensor: Tensor) -> RuntimeResult<()> {
-        let id = self
-            .plan
-            .arrays
-            .id(name)
-            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
-        let layout = self.plan.arrays.layout(id)?;
-        if layout.dims.as_slice() != tensor.shape() {
-            return Err(RuntimeError::ShapeMismatch {
-                array: name.to_string(),
-                expected: layout.dims.clone(),
-                got: tensor.shape().to_vec(),
-            });
-        }
-        self.st.slab[id as usize] = Some(tensor);
-        Ok(())
+        self.session.set_input(name, tensor)
     }
 
     /// Access an array after (or before) execution.
     pub fn array(&self, name: &str) -> Option<&Tensor> {
-        self.plan
-            .arrays
-            .id(name)
-            .and_then(|id| self.st.slab[id as usize].as_ref())
+        self.session.array(name)
     }
 
     /// Take ownership of all arrays (inputs, outputs and surviving transients).
-    pub fn into_arrays(self) -> HashMap<String, Tensor> {
-        self.plan
-            .arrays
-            .names
-            .iter()
-            .zip(self.st.slab)
-            .filter_map(|(name, t)| t.map(|t| (name.clone(), t)))
-            .collect()
+    pub fn into_arrays(mut self) -> HashMap<String, Tensor> {
+        self.session.take_arrays()
     }
 
     /// The memory tracker (for inspection in tests and benchmarks).
     pub fn tracker(&self) -> &MemoryTracker {
-        &self.st.tracker
+        self.session.tracker()
     }
 
     /// Concrete symbol bindings used by this executor.
     pub fn symbols(&self) -> &HashMap<String, i64> {
-        &self.symbols
+        self.session.symbols()
     }
 
     /// Execute the SDFG.
     pub fn run(&mut self) -> RuntimeResult<ExecutionReport> {
-        let start = Instant::now();
-        self.st.report = ExecutionReport::default();
-
-        // Count and materialise non-transient containers.
-        for id in 0..self.plan.arrays.names.len() {
-            if !self.plan.arrays.transient[id] {
-                let layout = self.plan.arrays.layout(id as u32)?;
-                if self.st.slab[id].is_none() {
-                    // Outputs that were not provided start as zeros.
-                    self.st.slab[id] = Some(Tensor::zeros(&layout.dims));
-                }
-                let bytes = layout.bytes;
-                self.st.tracker.alloc(&self.plan.arrays.names[id], bytes);
-            }
-        }
-
-        self.st.syms = self.plan.init_syms.clone();
-        self.st.exec_cfg(&self.plan, &self.plan.cfg)?;
-
-        self.st.report.elapsed = start.elapsed();
-        self.st.report.peak_bytes = self.st.tracker.peak_bytes();
-        self.st.report.final_bytes = self.st.tracker.current_bytes();
-        Ok(self.st.report.clone())
+        self.session.run()
     }
 
-    /// Evaluate a control-flow condition against explicit string bindings.
-    ///
-    /// Retained for source compatibility with pre-plan callers of the public
-    /// `Executor` API; internal execution never calls this — it evaluates the
-    /// lowered [`PlanCond`] over the symbol file instead, so changes to
-    /// condition semantics belong in `eval_plan_cond` first.
+    /// Evaluate a control-flow condition against explicit string bindings
+    /// (see [`Session::eval_cond`]).
     pub fn eval_cond(
         &mut self,
         cond: &CondExpr,
         bindings: &HashMap<String, i64>,
     ) -> RuntimeResult<bool> {
-        match cond {
-            CondExpr::Cmp { lhs, op, rhs } => {
-                let a = self.eval_cond_operand(lhs, bindings)?;
-                let b = self.eval_cond_operand(rhs, bindings)?;
-                Ok(op.apply(a, b))
-            }
-            CondExpr::Not(inner) => Ok(!self.eval_cond(inner, bindings)?),
-            CondExpr::StoredFlag(name) => {
-                self.ensure_allocated_by_name(name)?;
-                let t = self
-                    .array(name)
-                    .ok_or_else(|| RuntimeError::UnknownArray(name.clone()))?;
-                Ok(t.data().first().copied().unwrap_or(0.0) != 0.0)
-            }
-        }
-    }
-
-    fn eval_cond_operand(
-        &mut self,
-        op: &CondOperand,
-        bindings: &HashMap<String, i64>,
-    ) -> RuntimeResult<f64> {
-        match op {
-            CondOperand::Const(v) => Ok(*v),
-            CondOperand::Sym(e) => Ok(e.eval(bindings)? as f64),
-            CondOperand::Element { array, index } => {
-                self.ensure_allocated_by_name(array)?;
-                let idx: Vec<i64> = index
-                    .iter()
-                    .map(|e| e.eval(bindings))
-                    .collect::<Result<_, _>>()?;
-                let t = self
-                    .array(array)
-                    .ok_or_else(|| RuntimeError::UnknownArray(array.clone()))?;
-                let uidx = to_unsigned_index(array, &idx)?;
-                t.at(&uidx).map_err(|_| RuntimeError::BadIndex {
-                    array: array.clone(),
-                    index: idx,
-                })
-            }
-        }
-    }
-
-    fn ensure_allocated_by_name(&mut self, name: &str) -> RuntimeResult<()> {
-        let id = self
-            .plan
-            .arrays
-            .id(name)
-            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
-        self.st.ensure_allocated(&self.plan, id)
+        self.session.eval_cond(cond, bindings)
     }
 }
 
 impl RunState {
-    fn ensure_allocated(&mut self, plan: &ExecPlan, id: u32) -> RuntimeResult<()> {
+    /// Fresh run state for a plan: empty slab and pool, initial symbol file.
+    pub(crate) fn new(plan: &ExecPlan) -> Self {
+        let n_arrays = plan.arrays.names.len();
+        RunState {
+            slab: vec![None; n_arrays],
+            pool: vec![None; n_arrays],
+            syms: plan.init_syms.clone(),
+            tracker: MemoryTracker::new(),
+            report: ExecutionReport::default(),
+            free_hints: vec![Vec::new(); plan.states.len()],
+            scratch: Scratch::default(),
+            path: MapPath::Auto,
+        }
+    }
+
+    pub(crate) fn ensure_allocated(&mut self, plan: &ExecPlan, id: u32) -> RuntimeResult<()> {
         if self.slab[id as usize].is_some() {
             return Ok(());
         }
@@ -310,7 +223,17 @@ impl RunState {
             ));
         }
         let layout = plan.arrays.layout(id)?;
-        self.slab[id as usize] = Some(Tensor::zeros(&layout.dims));
+        // Reuse a pooled tensor from a previous run when available: the
+        // layout is identical (same plan), so a zero-fill in place replaces
+        // the allocation.
+        let tensor = match self.pool[id as usize].take() {
+            Some(mut t) => {
+                t.data_mut().fill(0.0);
+                t
+            }
+            None => Tensor::zeros(&layout.dims),
+        };
+        self.slab[id as usize] = Some(tensor);
         self.tracker
             .alloc(&plan.arrays.names[id as usize], layout.bytes);
         Ok(())
@@ -321,7 +244,7 @@ impl RunState {
         c.eval(&self.syms, &plan.syms.names, &mut self.scratch.i_regs)
     }
 
-    fn exec_cfg(&mut self, plan: &ExecPlan, cf: &PlanCf) -> RuntimeResult<()> {
+    pub(crate) fn exec_cfg(&mut self, plan: &ExecPlan, cf: &PlanCf) -> RuntimeResult<()> {
         match cf {
             PlanCf::State(id) => self.exec_state(plan, *id),
             PlanCf::Seq(children) => {
@@ -421,7 +344,13 @@ impl RunState {
         for k in 0..self.free_hints[id].len() {
             let aid = self.free_hints[id][k] as usize;
             self.tracker.free(&plan.arrays.names[aid]);
-            self.slab[aid] = None;
+            // Park the released tensor in the pool so a later allocation of
+            // the same container reuses it instead of reallocating.  Guarded
+            // so a hint firing while the container is unallocated (skipped
+            // branch, duplicate hint) does not clobber a parked buffer.
+            if let Some(t) = self.slab[aid].take() {
+                self.pool[aid] = Some(t);
+            }
         }
         Ok(())
     }
@@ -693,15 +622,7 @@ impl RunState {
             if remaining == 0 {
                 break;
             }
-            for d in (0..ndim).rev() {
-                counters[d] += 1;
-                if counters[d] < sizes[d] {
-                    self.syms.vals[m.params[d] as usize] = lows[d] + counters[d] as i64;
-                    break;
-                }
-                counters[d] = 0;
-                self.syms.vals[m.params[d] as usize] = lows[d];
-            }
+            advance_odometer(&mut counters, &mut self.syms, &m.params, lows, sizes);
         }
         for (&p, &(v, def)) in m.params.iter().zip(&saved) {
             self.syms.vals[p as usize] = v;
@@ -753,15 +674,7 @@ impl RunState {
                     if remaining == 0 {
                         break;
                     }
-                    for d in (0..sizes.len()).rev() {
-                        counters[d] += 1;
-                        if counters[d] < sizes[d] {
-                            syms.vals[m.params[d] as usize] = lows[d] + counters[d] as i64;
-                            break;
-                        }
-                        counters[d] = 0;
-                        syms.vals[m.params[d] as usize] = lows[d];
-                    }
+                    advance_odometer(&mut counters, &mut syms, &m.params, lows, sizes);
                 }
                 Ok(writes)
             })
@@ -1002,19 +915,27 @@ fn eval_body_readonly(
     Ok(())
 }
 
-fn to_unsigned_index(array: &str, idx: &[i64]) -> RuntimeResult<Vec<usize>> {
-    idx.iter()
-        .map(|&v| {
-            if v < 0 {
-                Err(RuntimeError::BadIndex {
-                    array: array.to_string(),
-                    index: idx.to_vec(),
-                })
-            } else {
-                Ok(v as usize)
-            }
-        })
-        .collect()
+/// Advance a row-major index odometer by one step (last dimension fastest)
+/// and mirror the new per-dimension indices into the map-parameter symbol
+/// slots.  Shared by the sequential and parallel map paths so their
+/// iteration orders cannot drift apart.
+#[inline]
+fn advance_odometer(
+    counters: &mut [usize],
+    syms: &mut SymFile,
+    params: &[u32],
+    lows: &[i64],
+    sizes: &[usize],
+) {
+    for d in (0..sizes.len()).rev() {
+        counters[d] += 1;
+        if counters[d] < sizes[d] {
+            syms.vals[params[d] as usize] = lows[d] + counters[d] as i64;
+            return;
+        }
+        counters[d] = 0;
+        syms.vals[params[d] as usize] = lows[d];
+    }
 }
 
 fn unflatten(mut flat: usize, sizes: &[usize]) -> Vec<usize> {
@@ -1044,6 +965,11 @@ mod tests {
 
     fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Compile and open a session (what most of these walker tests need).
+    fn mk_session(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Session> {
+        Ok(crate::program::compile(sdfg, symbols)?.session())
     }
 
     /// out[i] = in[i] * k for all i, as a parallel map.
@@ -1094,7 +1020,7 @@ mod tests {
     #[test]
     fn elementwise_map_executes() {
         let sdfg = scale_sdfg(3.0);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 5)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 5)])).unwrap();
         ex.set_input(
             "X",
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[5]).unwrap(),
@@ -1111,7 +1037,7 @@ mod tests {
         let sdfg = scale_sdfg(2.0);
         let n = (PARALLEL_MAP_THRESHOLD + 100) as i64;
         let x = dace_tensor::random::uniform(&[n as usize], 1);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", n)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", n)])).unwrap();
         ex.set_input("X", x.clone()).unwrap();
         ex.run().unwrap();
         let expected = x.scale(2.0);
@@ -1130,7 +1056,7 @@ mod tests {
         let mut outputs = Vec::new();
         for path in [MapPath::Auto, MapPath::Sequential, MapPath::Parallel] {
             let sdfg = scale_sdfg(1.5);
-            let mut ex = Executor::new(&sdfg, &symbols(&[("N", 64)])).unwrap();
+            let mut ex = mk_session(&sdfg, &symbols(&[("N", 64)])).unwrap();
             ex.force_map_path(path);
             ex.set_input("X", x.clone()).unwrap();
             let report = ex.run().unwrap();
@@ -1217,7 +1143,7 @@ mod tests {
         let mut ys = Vec::new();
         for path in [MapPath::Sequential, MapPath::Parallel] {
             let sdfg = build();
-            let mut ex = Executor::new(&sdfg, &symbols(&[("N", 100)])).unwrap();
+            let mut ex = mk_session(&sdfg, &symbols(&[("N", 100)])).unwrap();
             ex.force_map_path(path);
             ex.set_input("X", x.clone()).unwrap();
             reports.push(ex.run().unwrap());
@@ -1238,7 +1164,7 @@ mod tests {
     fn missing_symbol_is_error() {
         let sdfg = scale_sdfg(1.0);
         assert!(matches!(
-            Executor::new(&sdfg, &HashMap::new()),
+            mk_session(&sdfg, &HashMap::new()),
             Err(RuntimeError::MissingSymbol(_))
         ));
     }
@@ -1246,7 +1172,7 @@ mod tests {
     #[test]
     fn missing_input_is_error() {
         let sdfg = scale_sdfg(1.0);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 4)])).unwrap();
         // X not provided: reading it must fail (Y would be zero-filled output).
         let err = ex.run();
         // X is non-transient so it is zero-initialised as an "output"; the
@@ -1259,7 +1185,7 @@ mod tests {
     #[test]
     fn wrong_shape_input_rejected() {
         let sdfg = scale_sdfg(1.0);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 4)])).unwrap();
         let bad = Tensor::zeros(&[5]);
         assert!(matches!(
             ex.set_input("X", bad),
@@ -1295,7 +1221,7 @@ mod tests {
             step: SymExpr::int(1),
             body: Box::new(ControlFlow::State(sid)),
         });
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 10)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 10)])).unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("ACC").unwrap().data()[0], 45.0);
     }
@@ -1327,7 +1253,7 @@ mod tests {
             step: SymExpr::int(-1),
             body: Box::new(ControlFlow::State(sid)),
         });
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("ACC").unwrap().data()[0], 0.0);
     }
@@ -1373,13 +1299,13 @@ mod tests {
             then_body: Box::new(ControlFlow::State(then_id)),
             else_body: Some(Box::new(ControlFlow::State(else_id))),
         });
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("P", Tensor::from_vec(vec![5.0], &[1]).unwrap())
             .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 1.0);
 
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("P", Tensor::from_vec(vec![-5.0], &[1]).unwrap())
             .unwrap();
         ex.run().unwrap();
@@ -1410,7 +1336,7 @@ mod tests {
             graph: g,
         });
         sdfg.cfg = ControlFlow::State(sid);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 4)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 4)])).unwrap();
         let a_t = dace_tensor::random::uniform(&[4, 4], 3);
         let b_t = dace_tensor::random::uniform(&[4, 4], 4);
         ex.set_input("A", a_t.clone()).unwrap();
@@ -1442,7 +1368,7 @@ mod tests {
             graph: g,
         });
         sdfg.cfg = ControlFlow::State(sid);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 6)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 6)])).unwrap();
         ex.set_input("A", Tensor::ones(&[6])).unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("S").unwrap().data()[0], 6.0);
@@ -1503,9 +1429,9 @@ mod tests {
 
         let mut hints = HashMap::new();
         hints.insert(s1, vec!["T".to_string()]);
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 8)]))
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 8)]))
             .unwrap()
-            .with_free_hints(hints);
+            .with_free_hints(&hints);
         ex.set_input("X", Tensor::ones(&[8])).unwrap();
         let report = ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 4.0);
@@ -1541,12 +1467,12 @@ mod tests {
             then_body: Box::new(ControlFlow::State(sid)),
             else_body: None,
         });
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("F", Tensor::from_vec(vec![0.0], &[1]).unwrap())
             .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.array("Y").unwrap().data()[0], 0.0);
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("F", Tensor::from_vec(vec![1.0], &[1]).unwrap())
             .unwrap();
         ex.run().unwrap();
@@ -1617,7 +1543,7 @@ mod tests {
                 body: Box::new(ControlFlow::State(sid)),
             })),
         });
-        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 6), ("T", 2)])).unwrap();
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 6), ("T", 2)])).unwrap();
         ex.set_input(
             "A",
             Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &[6]).unwrap(),
@@ -1668,8 +1594,142 @@ mod tests {
             graph: g,
         });
         sdfg.cfg = ControlFlow::State(sid);
-        let mut ex = Executor::new(&sdfg, &HashMap::new()).unwrap();
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
         ex.set_input("A", Tensor::zeros(&[2])).unwrap();
         assert!(matches!(ex.run(), Err(RuntimeError::BadIndex { .. })));
+    }
+
+    /// A transient bound via `set_input` provides the initial contents (the
+    /// legacy executor honoured such bindings) and must not be zero-filled
+    /// by the per-run reset.
+    #[test]
+    fn provided_transient_keeps_its_contents() {
+        let mut sdfg = Sdfg::new("seeded_transient");
+        sdfg.add_symbol("N");
+        sdfg.add_array("T", ArrayDesc::transient(vec![SymExpr::sym("N")]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::sym("N")]))
+            .unwrap();
+        let mut body = DataflowGraph::new();
+        let r = body.add_access("T");
+        let t = body.add_tasklet(Tasklet::new("x2", "o", E::input("x").mul(E::c(2.0))));
+        let w = body.add_access("Y");
+        body.add_edge(
+            r,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("T", vec![SymExpr::sym("i")]),
+        );
+        body.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("Y", vec![SymExpr::sym("i")]),
+        );
+        let mut g = DataflowGraph::new();
+        let rn = g.add_access("T");
+        let m = g.add_map(MapScope {
+            params: vec!["i".into()],
+            ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+            body,
+            parallel: true,
+        });
+        let wn = g.add_access("Y");
+        g.add_edge(rn, None, m, None, Memlet::all("T"));
+        g.add_edge(m, None, wn, None, Memlet::all("Y"));
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
+        sdfg.cfg = ControlFlow::State(sid);
+
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 3)])).unwrap();
+        ex.set_input("T", Tensor::full(&[3], 3.0)).unwrap();
+        ex.run().unwrap();
+        assert_eq!(ex.array("Y").unwrap().data(), &[6.0, 6.0, 6.0]);
+        // The binding persists across runs; clearing it restores lazy zeros.
+        ex.run().unwrap();
+        assert_eq!(ex.array("Y").unwrap().data(), &[6.0, 6.0, 6.0]);
+        ex.clear_bindings();
+        ex.run().unwrap();
+        assert_eq!(ex.array("Y").unwrap().data(), &[0.0, 0.0, 0.0]);
+    }
+
+    /// Free hints naming non-transient arrays are ignored: releasing a
+    /// bound input would silently zero it on the next run.
+    #[test]
+    fn free_hints_ignore_non_transient_arrays() {
+        let sdfg = scale_sdfg(2.0);
+        let mut hints = HashMap::new();
+        hints.insert(0usize, vec!["X".to_string()]);
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 4)]))
+            .unwrap()
+            .with_free_hints(&hints);
+        ex.set_input("X", Tensor::full(&[4], 1.5)).unwrap();
+        ex.run().unwrap();
+        assert!(ex.array("X").is_some(), "input must survive the free hint");
+        assert_eq!(ex.array("Y").unwrap().data(), &[3.0, 3.0, 3.0, 3.0]);
+        ex.run().unwrap();
+        assert_eq!(ex.array("Y").unwrap().data(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    /// A tasklet with two assignments to the same output connector must
+    /// write the LAST one (the map-based interpreter's insertion order).
+    #[test]
+    fn duplicate_output_connector_last_assignment_wins() {
+        let mut sdfg = Sdfg::new("dup_conn");
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
+        let mut g = DataflowGraph::new();
+        let t = g.add_tasklet(Tasklet::multi(
+            "dup",
+            vec![("o".into(), E::c(1.0)), ("o".into(), E::c(2.0))],
+        ));
+        let w = g.add_access("Y");
+        g.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("Y", vec![SymExpr::int(0)]),
+        );
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
+        sdfg.cfg = ControlFlow::State(sid);
+        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
+        ex.run().unwrap();
+        assert_eq!(ex.array("Y").unwrap().data()[0], 2.0);
+    }
+
+    /// The deprecated `Executor::new` shim must behave exactly like
+    /// `compile(...).session()` (it wraps one).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_executor_shim_matches_session() {
+        let sdfg = scale_sdfg(3.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[5]).unwrap();
+
+        let mut ex = Executor::new(&sdfg, &symbols(&[("N", 5)])).unwrap();
+        ex.set_input("X", x.clone()).unwrap();
+        let shim_report = ex.run().unwrap();
+        let shim_y = ex.array("Y").unwrap().data().to_vec();
+        assert_eq!(ex.symbols().get("N"), Some(&5));
+        let arrays = ex.into_arrays();
+        assert_eq!(arrays["Y"].data(), shim_y.as_slice());
+
+        let mut session = mk_session(&sdfg, &symbols(&[("N", 5)])).unwrap();
+        session.set_input("X", x).unwrap();
+        let report = session.run().unwrap();
+        assert_eq!(session.array("Y").unwrap().data(), shim_y.as_slice());
+        assert_eq!(report.tasklet_invocations, shim_report.tasklet_invocations);
+        assert_eq!(report.peak_bytes, shim_report.peak_bytes);
+        assert!(matches!(
+            Executor::new(&sdfg, &HashMap::new()),
+            Err(RuntimeError::MissingSymbol(_))
+        ));
     }
 }

@@ -8,21 +8,33 @@
 //! differences (in-place gradients, no per-iteration bound checks, compact
 //! backward loops) rather than substrate differences.
 //!
-//! Execution is two-phase: [`executor::Executor::new`] lowers the SDFG once
-//! into a compiled execution plan (interned ids, register-compiled tasklet
-//! expressions, precomputed topological orders and subset classifications),
-//! and [`executor::Executor::run`] walks that plan with zero per-iteration
-//! string lookups, clones or heap allocations on the hot paths.
+//! Execution follows the paper's compile-once/run-many model:
 //!
-//! * [`executor::Executor`] — runs an SDFG given symbol values and inputs.
-//! * [`memory::MemoryTracker`] — allocation tracking and peak-memory
-//!   measurement used by the checkpointing experiments (Fig. 13).
+//! * [`compile`] lowers an SDFG under concrete symbol values into a
+//!   [`CompiledProgram`] — interned ids, register-compiled tasklet
+//!   expressions, precomputed topological orders and subset classifications
+//!   — consulting a process-wide **plan cache** keyed by (SDFG fingerprint,
+//!   symbol values), so structurally identical programs share one lowering.
+//! * [`CompiledProgram::session`] opens a [`Session`] that binds inputs,
+//!   runs the plan (zero per-iteration string lookups, clones or heap
+//!   allocations on the hot paths) and **reuses its tensor slab across
+//!   runs** — transients are recycled and zero-filled in place rather than
+//!   reallocated.
+//! * [`executor::Executor`] is the deprecated coupled compile-and-run shim
+//!   kept for migration; [`memory::MemoryTracker`] provides the allocation
+//!   tracking and peak-memory measurement used by the checkpointing
+//!   experiments (Fig. 13).
 
 pub mod error;
 pub mod executor;
 pub mod memory;
 mod plan;
+mod program;
 
 pub use error::{RuntimeError, RuntimeResult};
 pub use executor::{ExecutionReport, Executor, MapPath};
 pub use memory::MemoryTracker;
+pub use program::{
+    clear_plan_cache, compile, plan_cache_len, plan_cache_stats, CompiledProgram, PlanCacheStats,
+    Session,
+};

@@ -704,10 +704,12 @@ impl Lowerer {
             let conn = e.src_conn.as_deref().ok_or_else(|| {
                 RuntimeError::Malformed("tasklet out-edge without connector".into())
             })?;
+            // The last assignment with this output name wins, matching the
+            // insertion-order overwrite of the map-based interpreter.
             let expr = tasklet
                 .code
                 .iter()
-                .position(|(out, _)| out == conn)
+                .rposition(|(out, _)| out == conn)
                 .ok_or_else(|| {
                     RuntimeError::Malformed(format!(
                         "tasklet `{}` has no assignment for connector `{conn}`",

@@ -1,0 +1,532 @@
+//! The compile-once execution API: [`compile`] lowers an SDFG into a
+//! [`CompiledProgram`], and a [`Session`] runs that program many times.
+//!
+//! The paper's execution model is *compile once, run many*: one gradient
+//! SDFG is built and lowered a single time, then executed repeatedly (the
+//! training loop, the finite-difference validation sweep, the benchmark
+//! repetitions).  This module makes that shape explicit in the API:
+//!
+//! * [`compile`] produces a [`CompiledProgram`] — an immutable, cheaply
+//!   clonable handle to a lowered execution plan ([`crate::plan`]).
+//!   Compilation consults a process-wide **plan cache** keyed by the SDFG
+//!   fingerprint and the concrete symbol values, so compiling the same
+//!   program twice returns the same shared plan without re-lowering.
+//! * [`CompiledProgram::session`] opens a [`Session`]: mutable run state
+//!   (tensor slab, symbol file, scratch registers) bound to the program.
+//!   A session **reuses its tensor slab across runs** — transient tensors
+//!   are recycled through a pool and zero-filled in place instead of being
+//!   reallocated, and unbound outputs are reset in place — so repeated
+//!   `run` calls perform no plan work and no per-run heap churn beyond the
+//!   first execution.
+//!
+//! Cache observability: every [`crate::ExecutionReport`] carries the
+//! hit/miss counters of the program's cache entry, per-program counters are
+//! available via [`CompiledProgram::cache_stats`], and process-wide totals
+//! via [`plan_cache_stats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use dace_sdfg::{CondExpr, Sdfg};
+use dace_tensor::Tensor;
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::executor::{ExecutionReport, MapPath, RunState};
+use crate::memory::MemoryTracker;
+use crate::plan::{compile_plan, ExecPlan};
+
+// ---------------------------------------------------------------------------
+// Plan cache.
+// ---------------------------------------------------------------------------
+
+/// Hit/miss counters of the plan cache (per entry or process-wide).
+///
+/// A *miss* is a [`compile`] call that actually lowered the SDFG; a *hit* is
+/// a call that reused an already lowered plan.  For a single cache entry the
+/// miss count is therefore the number of times that exact (SDFG, symbols)
+/// pair was lowered — `1` for as long as the entry lives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Number of [`compile`] calls served from the cache.
+    pub hits: u64,
+    /// Number of [`compile`] calls that lowered the SDFG.
+    pub misses: u64,
+}
+
+/// Shared counters of one cache entry.
+#[derive(Debug, Default)]
+struct EntryStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EntryStats {
+    fn snapshot(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache key: structural SDFG fingerprint plus the concrete symbol values
+/// the plan was specialised for (layouts and loop bounds depend on them).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u64,
+    symbols: Vec<(String, i64)>,
+}
+
+/// Maximum number of cached plans.  When the cache is full the whole map is
+/// dropped (outstanding [`CompiledProgram`]s keep their plans alive through
+/// their own `Arc`s); a simple bound is enough because real workloads hold a
+/// handful of programs, not thousands.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<CacheKey, (Arc<ExecPlan>, Arc<EntryStats>)>,
+}
+
+fn global_cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PlanCache::default()))
+}
+
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide plan-cache totals across all programs.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of plans currently cached.
+pub fn plan_cache_len() -> usize {
+    global_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .map
+        .len()
+}
+
+/// Drop every cached plan (outstanding [`CompiledProgram`]s stay valid).
+/// Intended for tests and long-running processes that want to bound memory.
+pub fn clear_plan_cache() {
+    global_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .map
+        .clear();
+}
+
+/// Deterministic FNV-1a fingerprint of the SDFG structure.
+///
+/// The fingerprint hashes the full `Debug` rendering of the graph (names,
+/// shapes, tasklet code, memlets, control flow), so any structural change
+/// produces a different key.  Two structurally identical SDFGs — e.g. the
+/// same builder program constructed twice — share a fingerprint and
+/// therefore a cached plan.
+fn fingerprint_sdfg(sdfg: &Sdfg) -> u64 {
+    let rendered = format!("{sdfg:?}");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in rendered.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// CompiledProgram.
+// ---------------------------------------------------------------------------
+
+/// Compile an SDFG under concrete symbol values into a [`CompiledProgram`].
+///
+/// Every symbol declared by the SDFG must have a value.  The call consults
+/// the process-wide plan cache: compiling a structurally identical SDFG with
+/// the same symbol values returns a handle to the *same* lowered plan, and
+/// only the first call pays the lowering cost.
+///
+/// # Errors
+/// [`RuntimeError::MissingSymbol`] when a declared symbol has no value.
+pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<CompiledProgram> {
+    for s in &sdfg.symbols {
+        if !symbols.contains_key(s) {
+            return Err(RuntimeError::MissingSymbol(s.clone()));
+        }
+    }
+    let fingerprint = fingerprint_sdfg(sdfg);
+    let mut key_syms: Vec<(String, i64)> = symbols.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    key_syms.sort();
+    let key = CacheKey {
+        fingerprint,
+        symbols: key_syms,
+    };
+
+    let mut cache = global_cache().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((plan, stats)) = cache.map.get(&key) {
+        stats.hits.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(CompiledProgram {
+            plan: Arc::clone(plan),
+            symbols: Arc::new(symbols.clone()),
+            stats: Arc::clone(stats),
+            fingerprint,
+            cache_hit: true,
+        });
+    }
+    // Lower while holding the lock so concurrent compiles of the same key
+    // produce exactly one plan (lowering is fast relative to execution).
+    let plan = Arc::new(compile_plan(sdfg, symbols));
+    let stats = Arc::new(EntryStats {
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(1),
+    });
+    GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+    if cache.map.len() >= PLAN_CACHE_CAPACITY {
+        cache.map.clear();
+    }
+    cache
+        .map
+        .insert(key, (Arc::clone(&plan), Arc::clone(&stats)));
+    Ok(CompiledProgram {
+        plan,
+        symbols: Arc::new(symbols.clone()),
+        stats,
+        fingerprint,
+        cache_hit: false,
+    })
+}
+
+/// An SDFG lowered once into an execution plan: the immutable, shareable
+/// product of [`compile`].
+///
+/// Cloning is cheap (the plan is behind an `Arc`); open one or more
+/// [`Session`]s to actually execute it.
+#[derive(Clone)]
+pub struct CompiledProgram {
+    plan: Arc<ExecPlan>,
+    symbols: Arc<HashMap<String, i64>>,
+    stats: Arc<EntryStats>,
+    fingerprint: u64,
+    cache_hit: bool,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("fingerprint", &self.fingerprint)
+            .field("cache_hit", &self.cache_hit)
+            .field("arrays", &self.plan.arrays.names.len())
+            .field("states", &self.plan.states.len())
+            .finish()
+    }
+}
+
+impl CompiledProgram {
+    /// Open an execution session for this program.
+    pub fn session(&self) -> Session {
+        Session {
+            st: RunState::new(&self.plan),
+            provided: vec![false; self.plan.arrays.names.len()],
+            program: self.clone(),
+        }
+    }
+
+    /// Concrete symbol values the plan was specialised for.
+    pub fn symbols(&self) -> &HashMap<String, i64> {
+        &self.symbols
+    }
+
+    /// Structural fingerprint of the source SDFG (one half of the cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether this particular [`compile`] call was served from the cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Hit/miss counters of this program's cache entry.  `misses` is the
+    /// number of times this (SDFG, symbols) pair was actually lowered.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session.
+// ---------------------------------------------------------------------------
+
+/// Mutable execution state bound to a [`CompiledProgram`]: bind inputs with
+/// [`Session::set_input`], execute with [`Session::run`], read results with
+/// [`Session::array`].
+///
+/// A session is built for repeated runs.  Each `run` starts from a clean
+/// state — transients and unbound outputs are reset — but the underlying
+/// tensor allocations are **reused, not reallocated**: transient tensors are
+/// recycled through an internal pool and zero-filled in place.  Input
+/// bindings persist across runs; note that a program which mutates an input
+/// array in place (e.g. an in-place stencil) leaves the *mutated* tensor
+/// bound, so callers that need fresh values must rebind before the next run
+/// (or call [`Session::clear_bindings`]).
+pub struct Session {
+    program: CompiledProgram,
+    st: RunState,
+    /// Which non-transient arrays were bound via `set_input` (by array id).
+    provided: Vec<bool>,
+}
+
+impl Session {
+    /// The program this session executes.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Concrete symbol bindings of the underlying program.
+    pub fn symbols(&self) -> &HashMap<String, i64> {
+        self.program.symbols()
+    }
+
+    /// Bind an input array by name.  The binding persists across runs until
+    /// overwritten or cleared.  Binding a *transient* array provides its
+    /// initial contents (instead of the usual lazy zero-fill), matching the
+    /// behaviour of the legacy `Executor`.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownArray`] for names the program does not declare
+    /// and [`RuntimeError::ShapeMismatch`] when the tensor's shape does not
+    /// match the array's concrete layout.
+    pub fn set_input(&mut self, name: &str, tensor: Tensor) -> RuntimeResult<()> {
+        let plan = self.program.plan();
+        let id = plan
+            .arrays
+            .id(name)
+            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
+        let layout = plan.arrays.layout(id)?;
+        if layout.dims.as_slice() != tensor.shape() {
+            return Err(RuntimeError::ShapeMismatch {
+                array: name.to_string(),
+                expected: layout.dims.clone(),
+                got: tensor.shape().to_vec(),
+            });
+        }
+        self.st.slab[id as usize] = Some(tensor);
+        self.provided[id as usize] = true;
+        Ok(())
+    }
+
+    /// Forget every input binding.  Tensors already in the slab are reset
+    /// (zero-filled in place) at the start of the next run instead of being
+    /// treated as inputs.
+    pub fn clear_bindings(&mut self) {
+        self.provided.fill(false);
+    }
+
+    /// Attach per-state free hints: after executing state `id`, the listed
+    /// transient containers are deallocated (used by the AD engine to bound
+    /// the footprint of recomputation blocks).  Unknown state ids and array
+    /// names are ignored, as are non-transient arrays — releasing a bound
+    /// input mid-run would silently replace it with zeros on the next run.
+    pub fn set_free_hints(&mut self, hints: &HashMap<usize, Vec<String>>) {
+        let plan = self.program.plan();
+        let mut resolved = vec![Vec::new(); plan.states.len()];
+        for (&state, names) in hints {
+            if state < resolved.len() {
+                for name in names {
+                    if let Some(id) = plan.arrays.id(name) {
+                        if plan.arrays.transient[id as usize] {
+                            resolved[state].push(id);
+                        }
+                    }
+                }
+            }
+        }
+        self.st.free_hints = resolved;
+    }
+
+    /// Builder-style variant of [`Session::set_free_hints`].
+    pub fn with_free_hints(mut self, hints: &HashMap<usize, Vec<String>>) -> Self {
+        self.set_free_hints(hints);
+        self
+    }
+
+    /// Force a map execution path (testing/instrumentation knob).
+    pub fn force_map_path(&mut self, path: MapPath) {
+        self.st.path = path;
+    }
+
+    /// Access an array after (or before) execution.
+    pub fn array(&self, name: &str) -> Option<&Tensor> {
+        self.program
+            .plan()
+            .arrays
+            .id(name)
+            .and_then(|id| self.st.slab[id as usize].as_ref())
+    }
+
+    /// Take ownership of all live arrays (inputs, outputs and surviving
+    /// transients), draining the slab.  Bindings are cleared; the session
+    /// stays usable, but the next run re-materialises its containers.
+    pub fn take_arrays(&mut self) -> HashMap<String, Tensor> {
+        self.provided.fill(false);
+        let names = &self.program.plan().arrays.names;
+        names
+            .iter()
+            .enumerate()
+            .filter_map(|(id, name)| self.st.slab[id].take().map(|t| (name.clone(), t)))
+            .collect()
+    }
+
+    /// The memory tracker of the most recent run (for tests and benchmarks).
+    pub fn tracker(&self) -> &MemoryTracker {
+        &self.st.tracker
+    }
+
+    /// Execute the program.
+    ///
+    /// Each run starts from a clean state: the memory tracker is reset,
+    /// transient tensors left over from the previous run are recycled into
+    /// the allocation pool, and non-transient arrays that were *not* bound
+    /// via [`Session::set_input`] are zero-filled in place.  Results are
+    /// therefore bit-identical to a run on a freshly opened session with the
+    /// same bindings.
+    pub fn run(&mut self) -> RuntimeResult<ExecutionReport> {
+        let start = Instant::now();
+        let Session {
+            program,
+            st,
+            provided,
+        } = self;
+        let plan: &ExecPlan = program.plan.as_ref();
+
+        st.report = ExecutionReport::default();
+        st.tracker = MemoryTracker::new();
+
+        // Reset the slab in place: recycle transients into the pool (their
+        // allocations are reused by `ensure_allocated`), zero unbound
+        // non-transients, and count + materialise non-transient containers.
+        for (id, &was_provided) in provided.iter().enumerate() {
+            if plan.arrays.transient[id] {
+                // A transient bound via `set_input` keeps its contents (it
+                // provides the initial value, as the legacy executor did);
+                // anything else is recycled for in-place reuse.
+                if !was_provided {
+                    if let Some(t) = st.slab[id].take() {
+                        st.pool[id] = Some(t);
+                    }
+                }
+            } else {
+                let layout = plan.arrays.layout(id as u32)?;
+                match st.slab[id].as_mut() {
+                    Some(t) if !was_provided => t.data_mut().fill(0.0),
+                    Some(_) => {}
+                    None => {
+                        // Outputs that were not provided start as zeros.
+                        st.slab[id] = Some(Tensor::zeros(&layout.dims));
+                    }
+                }
+                st.tracker.alloc(&plan.arrays.names[id], layout.bytes);
+            }
+        }
+
+        st.syms = plan.init_syms.clone();
+        st.exec_cfg(plan, &plan.cfg)?;
+
+        st.report.elapsed = start.elapsed();
+        st.report.peak_bytes = st.tracker.peak_bytes();
+        st.report.final_bytes = st.tracker.current_bytes();
+        let cache = program.stats.snapshot();
+        st.report.plan_cache_hits = cache.hits;
+        st.report.plan_cache_misses = cache.misses;
+        Ok(st.report.clone())
+    }
+
+    /// Evaluate a control-flow condition against explicit string bindings.
+    ///
+    /// Retained for source compatibility with pre-plan callers; internal
+    /// execution evaluates the lowered `PlanCond` over the symbol file
+    /// instead, so changes to condition semantics belong there first.
+    pub fn eval_cond(
+        &mut self,
+        cond: &CondExpr,
+        bindings: &HashMap<String, i64>,
+    ) -> RuntimeResult<bool> {
+        match cond {
+            CondExpr::Cmp { lhs, op, rhs } => {
+                let a = self.eval_cond_operand(lhs, bindings)?;
+                let b = self.eval_cond_operand(rhs, bindings)?;
+                Ok(op.apply(a, b))
+            }
+            CondExpr::Not(inner) => Ok(!self.eval_cond(inner, bindings)?),
+            CondExpr::StoredFlag(name) => {
+                self.ensure_allocated_by_name(name)?;
+                let t = self
+                    .array(name)
+                    .ok_or_else(|| RuntimeError::UnknownArray(name.clone()))?;
+                Ok(t.data().first().copied().unwrap_or(0.0) != 0.0)
+            }
+        }
+    }
+
+    fn eval_cond_operand(
+        &mut self,
+        op: &dace_sdfg::CondOperand,
+        bindings: &HashMap<String, i64>,
+    ) -> RuntimeResult<f64> {
+        use dace_sdfg::CondOperand;
+        match op {
+            CondOperand::Const(v) => Ok(*v),
+            CondOperand::Sym(e) => Ok(e.eval(bindings)? as f64),
+            CondOperand::Element { array, index } => {
+                self.ensure_allocated_by_name(array)?;
+                let idx: Vec<i64> = index
+                    .iter()
+                    .map(|e| e.eval(bindings))
+                    .collect::<Result<_, _>>()?;
+                let t = self
+                    .array(array)
+                    .ok_or_else(|| RuntimeError::UnknownArray(array.clone()))?;
+                let uidx: Vec<usize> = idx
+                    .iter()
+                    .map(|&v| {
+                        if v < 0 {
+                            Err(RuntimeError::BadIndex {
+                                array: array.clone(),
+                                index: idx.clone(),
+                            })
+                        } else {
+                            Ok(v as usize)
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                t.at(&uidx).map_err(|_| RuntimeError::BadIndex {
+                    array: array.clone(),
+                    index: idx.clone(),
+                })
+            }
+        }
+    }
+
+    fn ensure_allocated_by_name(&mut self, name: &str) -> RuntimeResult<()> {
+        let id = self
+            .program
+            .plan()
+            .arrays
+            .id(name)
+            .ok_or_else(|| RuntimeError::UnknownArray(name.to_string()))?;
+        let Session { program, st, .. } = self;
+        st.ensure_allocated(program.plan.as_ref(), id)
+    }
+}

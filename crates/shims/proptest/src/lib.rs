@@ -133,7 +133,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives (built by the `prop_oneof!` macro).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -230,7 +230,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use rand::{Rng, StdRng};
 
-    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    /// Size specification for [`vec()`]: a fixed length or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,

@@ -51,7 +51,7 @@ fn main() {
     );
 
     // 1) Store-all baseline.
-    let store_all =
+    let mut store_all =
         GradientEngine::new(&fwd, "OUT", &["C", "D"], &symbols, &AdOptions::default()).unwrap();
     let store_res = store_all.run(&inputs).unwrap();
     let store_peak = store_res.report.peak_bytes;
@@ -63,16 +63,12 @@ fn main() {
 
     // 2) ILP under a limit below the store-all peak.
     let limit = store_peak - (n * n * 8);
-    let ilp = GradientEngine::new(
+    let mut ilp = GradientEngine::new(
         &fwd,
         "OUT",
         &["C", "D"],
         &symbols,
-        &AdOptions {
-            strategy: CheckpointStrategy::Ilp {
-                memory_limit_bytes: limit,
-            },
-        },
+        &AdOptions::with_memory_limit(limit),
     )
     .unwrap();
     let report = ilp.plan().ilp_report.clone().unwrap();

@@ -46,7 +46,7 @@ fn main() {
     let mut inputs = HashMap::new();
     inputs.insert("A".to_string(), a0);
 
-    let engine =
+    let mut engine =
         GradientEngine::new(&forward, "OUT", &["A"], &symbols, &AdOptions::default()).unwrap();
     let result = engine.run(&inputs).unwrap();
 
@@ -63,5 +63,14 @@ fn main() {
     println!(
         "gradient program executed {} states in {:?}",
         result.report.state_executions, result.report.elapsed
+    );
+
+    // The engine is compile-once/run-many: a second sensitivity run reuses
+    // the lowered gradient plan and the session's tensor slab.
+    let rerun = engine.run(&inputs).unwrap();
+    assert_eq!(rerun.report.plan_cache_misses, 1);
+    println!(
+        "re-run reused the cached plan ({} lowering) in {:?}",
+        rerun.report.plan_cache_misses, rerun.report.elapsed
     );
 }

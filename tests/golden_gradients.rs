@@ -22,7 +22,7 @@ fn check_kernel_against_fd(name: &str, strategy: CheckpointStrategy) {
     let symbols = kernel.symbols(&sizes);
     let inputs = kernel.inputs(&sizes);
     let forward = kernel.build_dace(&sizes);
-    let engine = GradientEngine::new(
+    let mut engine = GradientEngine::new(
         &forward,
         "OUT",
         &kernel.wrt(),
@@ -110,7 +110,7 @@ fn store_all_and_recompute_all_agree_tightly() {
             CheckpointStrategy::StoreAll,
             CheckpointStrategy::RecomputeAll,
         ] {
-            let engine = GradientEngine::new(
+            let mut engine = GradientEngine::new(
                 &forward,
                 "OUT",
                 &kernel.wrt(),

@@ -46,7 +46,7 @@ fn fig2_gradients_flow_only_through_the_ccs() {
             dace_ad_repro::tensor::random::uniform(&[6], seed).scale(0.3),
         );
     }
-    let engine =
+    let mut engine =
         GradientEngine::new(&fwd, "OUT", &["M", "N"], &syms, &AdOptions::default()).unwrap();
     // N does not contribute to O, so its gradient container should not even
     // exist; M's gradient must match finite differences.
@@ -128,11 +128,11 @@ fn ilp_checkpointing_respects_measured_memory_limit() {
         dace_ad_repro::tensor::random::uniform(&[32, 32], 5),
     );
 
-    let store = GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+    let mut store = GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
     let store_res = store.run(&inputs).unwrap();
 
     let limit = store_res.report.peak_bytes - 32 * 32 * 8;
-    let ilp = GradientEngine::new(
+    let mut ilp = GradientEngine::new(
         &fwd,
         "OUT",
         &["X"],
@@ -160,18 +160,19 @@ fn ilp_checkpointing_respects_measured_memory_limit() {
 }
 
 #[test]
-fn executor_reports_instrumentation() {
+fn session_reports_instrumentation() {
     let fwd = fig2_program();
     let syms = symbols(&[("S", 4), ("TSTEPS", 2)]);
-    let mut ex = Executor::new(&fwd, &syms).unwrap();
-    ex.set_input("M", Tensor::ones(&[4])).unwrap();
-    ex.set_input("N", Tensor::ones(&[4])).unwrap();
-    ex.set_input("O", Tensor::zeros(&[4])).unwrap();
-    ex.set_input("E", Tensor::zeros(&[4])).unwrap();
-    let report: ExecutionReport = ex.run().unwrap();
+    let mut session = compile(&fwd, &syms).unwrap().session();
+    session.set_input("M", Tensor::ones(&[4])).unwrap();
+    session.set_input("N", Tensor::ones(&[4])).unwrap();
+    session.set_input("O", Tensor::zeros(&[4])).unwrap();
+    session.set_input("E", Tensor::zeros(&[4])).unwrap();
+    let report: ExecutionReport = session.run().unwrap();
     assert!(report.state_executions >= 10);
     assert!(report.map_points > 0);
     assert!(report.peak_bytes > 0);
+    assert!(report.plan_cache_misses >= 1);
 }
 
 #[test]
@@ -207,7 +208,8 @@ fn seidel_style_loop_gradient_matches_finite_differences() {
         "A".to_string(),
         dace_ad_repro::tensor::random::uniform(&[5, 5], 11),
     );
-    let engine = GradientEngine::new(&fwd, "OUT", &["A"], &syms, &AdOptions::default()).unwrap();
+    let mut engine =
+        GradientEngine::new(&fwd, "OUT", &["A"], &syms, &AdOptions::default()).unwrap();
     let result = engine.run(&inputs).unwrap();
     let fd = finite_difference_gradient(&fwd, "OUT", "A", &syms, &inputs, 1e-6).unwrap();
     assert!(allclose(&result.gradients["A"], &fd, 1e-4, 1e-7));

@@ -1,0 +1,252 @@
+//! Plan-cache and session-reuse integration tests for the compile-once
+//! execution API (`compile` → `CompiledProgram` → `Session`).
+//!
+//! Pinned properties:
+//!
+//! * hit/miss accounting: structurally identical (SDFG, symbols) pairs share
+//!   one lowered plan; different symbols or different programs miss;
+//! * repeated `GradientEngine::run` calls and a whole finite-difference
+//!   validation sweep perform **exactly one** gradient lowering and one
+//!   forward lowering (asserted via the cache counters);
+//! * cold and cached runs produce bit-identical outputs, gradients and
+//!   memory instrumentation;
+//! * a session stays correct after a failed run: the reused slab is reset,
+//!   and the next run matches a fresh session bit for bit.
+
+use std::collections::HashMap;
+
+use dace_ad_repro::ad::engine::finite_difference_gradient;
+use dace_ad_repro::frontend::lit;
+use dace_ad_repro::prelude::*;
+use dace_ad_repro::sdfg::{CmpOp, CondExpr, CondOperand};
+
+fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// `OUT = sum(sin(X) * 2)` — a small differentiable program.  The `name`
+/// parameter keeps fingerprints distinct across tests sharing the process.
+fn small_program(name: &str) -> Sdfg {
+    let mut b = ProgramBuilder::new(name);
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_transient("T", vec![n.clone()]).unwrap();
+    b.add_scalar("OUT").unwrap();
+    b.assign("T", ArrayExpr::a("X").sin().mul(ArrayExpr::s(2.0)));
+    b.sum_into("OUT", "T", false);
+    b.build().unwrap()
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn compile_hits_cache_for_identical_programs() {
+    let sdfg = small_program("cache_hit_prog");
+    let syms = symbols(&[("N", 5)]);
+
+    let p1 = compile(&sdfg, &syms).unwrap();
+    assert!(!p1.cache_hit(), "first compile must lower");
+    assert_eq!(p1.cache_stats().misses, 1);
+    assert_eq!(p1.cache_stats().hits, 0);
+
+    // Same SDFG value: hit.
+    let p2 = compile(&sdfg, &syms).unwrap();
+    assert!(p2.cache_hit());
+    // A structurally identical SDFG built from scratch: also a hit.
+    let p3 = compile(&small_program("cache_hit_prog"), &syms).unwrap();
+    assert!(p3.cache_hit());
+    assert_eq!(p3.fingerprint(), p1.fingerprint());
+    assert_eq!(p3.cache_stats().misses, 1, "still exactly one lowering");
+    assert_eq!(p3.cache_stats().hits, 2);
+
+    // Different symbol values specialise differently: miss.
+    let p4 = compile(&sdfg, &symbols(&[("N", 6)])).unwrap();
+    assert!(!p4.cache_hit());
+    assert_eq!(p4.fingerprint(), p1.fingerprint());
+
+    // A different program: miss under a different fingerprint.
+    let p5 = compile(&small_program("cache_hit_prog_b"), &syms).unwrap();
+    assert!(!p5.cache_hit());
+    assert_ne!(p5.fingerprint(), p1.fingerprint());
+
+    // Global counters are monotone and visible.
+    let totals = dace_ad_repro::runtime::plan_cache_stats();
+    assert!(totals.misses >= 3);
+    assert!(totals.hits >= 2);
+}
+
+#[test]
+fn gradient_engine_lowers_once_across_runs() {
+    let fwd = small_program("engine_reuse_prog");
+    let syms = symbols(&[("N", 8)]);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "X".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[8], 17),
+    );
+
+    let mut engine =
+        GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+    let first = engine.run(&inputs).unwrap();
+    let second = engine.run(&inputs).unwrap();
+    let third = engine.run(&inputs).unwrap();
+
+    // Exactly one gradient lowering across all runs, visible both on the
+    // per-run reports and on the program handle.
+    assert_eq!(first.report.plan_cache_misses, 1);
+    assert_eq!(third.report.plan_cache_misses, 1);
+    assert_eq!(engine.gradient_program().cache_stats().misses, 1);
+
+    // Cold and cached runs are bit-identical, including instrumentation.
+    for r in [&second, &third] {
+        assert_eq!(first.output_value.to_bits(), r.output_value.to_bits());
+        assert_eq!(bits(&first.gradients["X"]), bits(&r.gradients["X"]));
+        assert_eq!(first.report.peak_bytes, r.report.peak_bytes);
+        assert_eq!(
+            first.report.tasklet_invocations,
+            r.report.tasklet_invocations
+        );
+    }
+
+    // A second engine over the same forward program reuses the cached
+    // gradient plan (backward generation is deterministic).
+    let mut engine2 =
+        GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+    assert!(
+        engine2.gradient_program().cache_hit(),
+        "second engine must reuse the cached gradient plan"
+    );
+    let cached = engine2.run(&inputs).unwrap();
+    assert_eq!(first.output_value.to_bits(), cached.output_value.to_bits());
+    assert_eq!(bits(&first.gradients["X"]), bits(&cached.gradients["X"]));
+}
+
+#[test]
+fn fd_validation_lowers_forward_once() {
+    let fwd = small_program("fd_once_prog");
+    let syms = symbols(&[("N", 6)]);
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "X".to_string(),
+        dace_ad_repro::tensor::random::uniform(&[6], 23),
+    );
+
+    // Free-function sweep: 2 × 6 forward evaluations, one lowering.  The
+    // follow-up `compile` of the same pair must therefore be a hit whose
+    // entry records exactly one miss.
+    let fd = finite_difference_gradient(&fwd, "OUT", "X", &syms, &inputs, 1e-6).unwrap();
+    let probe = compile(&fwd, &syms).unwrap();
+    assert!(probe.cache_hit());
+    assert_eq!(
+        probe.cache_stats().misses,
+        1,
+        "the FD sweep must lower the forward SDFG exactly once"
+    );
+
+    // Engine-cached sweep agrees with the free function and with AD.
+    let mut engine =
+        GradientEngine::new(&fwd, "OUT", &["X"], &syms, &AdOptions::default()).unwrap();
+    let engine_fd = engine.finite_difference("X", &inputs, 1e-6).unwrap();
+    assert!(allclose(&fd, &engine_fd, 1e-10, 1e-12));
+    assert_eq!(engine.forward_program().unwrap().cache_stats().misses, 1);
+    let ad = engine.run(&inputs).unwrap();
+    assert!(allclose(&ad.gradients["X"], &fd, 1e-4, 1e-7));
+}
+
+#[test]
+fn session_recovers_after_failed_run() {
+    // if P[0] > 0 { T = 3*X; T[99] = 1 (out of bounds) } else { T = 2*X };
+    // OUT = sum(T).  The failing arm dirties T before erroring, so the next
+    // run exercises the in-place slab reset.
+    let build = || {
+        let mut b = ProgramBuilder::new("failing_prog");
+        let n = b.symbol("N");
+        b.add_input("X", vec![n.clone()]).unwrap();
+        b.add_input("P", vec![SymExpr::int(1)]).unwrap();
+        b.add_transient("T", vec![n.clone()]).unwrap();
+        b.add_scalar("OUT").unwrap();
+        b.branch(
+            CondExpr::Cmp {
+                lhs: CondOperand::Element {
+                    array: "P".into(),
+                    index: vec![SymExpr::int(0)],
+                },
+                op: CmpOp::Gt,
+                rhs: CondOperand::Const(0.0),
+            },
+            |b| {
+                b.assign("T", ArrayExpr::a("X").mul(ArrayExpr::s(3.0)));
+                b.assign_element("T", vec![SymExpr::int(99)], lit(1.0));
+            },
+            Some(Box::new(|b: &mut ProgramBuilder| {
+                b.assign("T", ArrayExpr::a("X").mul(ArrayExpr::s(2.0)))
+            })),
+        );
+        b.sum_into("OUT", "T", false);
+        b.build().unwrap()
+    };
+    let sdfg = build();
+    let syms = symbols(&[("N", 4)]);
+    let x = dace_ad_repro::tensor::random::uniform(&[4], 31);
+
+    let program = compile(&sdfg, &syms).unwrap();
+    let mut session = program.session();
+    session.set_input("X", x.clone()).unwrap();
+    session
+        .set_input("P", Tensor::from_vec(vec![1.0], &[1]).unwrap())
+        .unwrap();
+    assert!(session.run().is_err(), "the failing arm must error");
+
+    // Same session, healthy arm: the reused slab must behave like new.
+    session
+        .set_input("P", Tensor::from_vec(vec![-1.0], &[1]).unwrap())
+        .unwrap();
+    let recovered = session.run().unwrap();
+    let recovered_out = session.array("OUT").unwrap().data()[0];
+
+    let mut fresh = program.session();
+    fresh.set_input("X", x).unwrap();
+    fresh
+        .set_input("P", Tensor::from_vec(vec![-1.0], &[1]).unwrap())
+        .unwrap();
+    let fresh_report = fresh.run().unwrap();
+    let fresh_out = fresh.array("OUT").unwrap().data()[0];
+
+    assert_eq!(
+        recovered_out.to_bits(),
+        fresh_out.to_bits(),
+        "post-failure run must match a fresh session bit for bit"
+    );
+    assert_eq!(
+        bits(session.array("T").unwrap()),
+        bits(fresh.array("T").unwrap())
+    );
+    assert_eq!(recovered.peak_bytes, fresh_report.peak_bytes);
+
+    // And repeated successful runs stay stable.
+    let again = session.run().unwrap();
+    assert_eq!(again.peak_bytes, fresh_report.peak_bytes);
+    assert_eq!(
+        session.array("OUT").unwrap().data()[0].to_bits(),
+        fresh_out.to_bits()
+    );
+}
+
+#[test]
+fn clear_bindings_resets_inputs_between_runs() {
+    let sdfg = small_program("rebind_prog");
+    let syms = symbols(&[("N", 4)]);
+    let mut session = compile(&sdfg, &syms).unwrap().session();
+    session.set_input("X", Tensor::full(&[4], 0.5)).unwrap();
+    session.run().unwrap();
+    let with_input = session.array("OUT").unwrap().data()[0];
+    assert!(with_input != 0.0);
+
+    // After clearing, the stale X tensor is zeroed in place, so OUT becomes
+    // sum(sin(0) * 2) = 0 — the same as a fresh session with no inputs.
+    session.clear_bindings();
+    session.run().unwrap();
+    assert_eq!(session.array("OUT").unwrap().data()[0], 0.0);
+}

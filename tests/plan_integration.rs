@@ -36,7 +36,7 @@ fn plan_execution_is_bit_deterministic_on_golden_kernels() {
             let symbols = kernel.symbols(&sizes);
             let inputs = kernel.inputs(&sizes);
             let forward = kernel.build_dace(&sizes);
-            let engine = GradientEngine::new(
+            let mut engine = GradientEngine::new(
                 &forward,
                 "OUT",
                 &kernel.wrt(),
@@ -89,7 +89,7 @@ fn plan_execution_cross_validates_against_jax_baseline() {
         let symbols = kernel.symbols(&sizes);
         let inputs = kernel.inputs(&sizes);
         let forward = kernel.build_dace(&sizes);
-        let engine = GradientEngine::new(
+        let mut engine = GradientEngine::new(
             &forward,
             "OUT",
             &kernel.wrt(),
@@ -125,13 +125,13 @@ fn forced_sequential_path_matches_auto_on_golden_forward_passes() {
         let forward = kernel.build_dace(&sizes);
 
         let run_with = |path: MapPath| {
-            let mut ex = Executor::new(&forward, &symbols).unwrap();
-            ex.force_map_path(path);
+            let mut session = compile(&forward, &symbols).unwrap().session();
+            session.force_map_path(path);
             for (n, t) in &inputs {
-                ex.set_input(n, t.clone()).unwrap();
+                session.set_input(n, t.clone()).unwrap();
             }
-            let report = ex.run().unwrap();
-            let out = ex.array("OUT").unwrap().data()[0];
+            let report = session.run().unwrap();
+            let out = session.array("OUT").unwrap().data()[0];
             (out, report)
         };
         let (auto_out, auto_report) = run_with(MapPath::Auto);
