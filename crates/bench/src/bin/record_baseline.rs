@@ -1,34 +1,62 @@
 //! Record or check perf baselines for the figure kernels.
 //!
 //! Record mode runs every NPBench kernel's DaCe-AD gradient at the chosen
-//! preset — plus one `fd_validation` row timing a whole finite-difference
-//! validation sweep (always at a fixed small 12×10 atax size, since FD is the
-//! correctness-validation path), which guards the compile-once win: the
-//! sweep performs exactly one forward lowering instead of two per input
-//! element — and writes one JSON object per row to the output file:
+//! preset, plus two synthetic rows — `fd_validation` (one finite-difference
+//! validation sweep at a fixed small 12×10 atax size, guarding the
+//! compile-once property: one forward lowering per sweep instead of two per
+//! input element) and `batch_throughput` (batched gradient serving of atax +
+//! jacobi2d through `BatchDriver`, guarding the per-item cost of the batched
+//! path; the row also records items/sec for both the serial loop and the
+//! batched driver) — and writes one JSON object per row to the output file.
 //!
-//! ```text
-//! record_baseline [--preset bench|test] [--reps N] [--out BENCH_baseline.json]
-//! ```
-//!
-//! Compare mode re-measures and exits non-zero when any kernel regressed by
+//! Compare mode re-measures and exits non-zero when any row regressed by
 //! more than `--max-regression` (default 0.25 = 25%) against the stored
-//! `dace_ms`, which is what the CI `bench-smoke` job runs:
+//! `dace_ms`, which is what the CI `bench-smoke` job runs.
 //!
-//! ```text
-//! record_baseline --compare BENCH_baseline.json [--preset ...] [--reps N] \
-//!                 [--max-regression 0.25]
-//! ```
+//! Full methodology (presets, best-of-N policy, row schema) is documented in
+//! `docs/benchmarking.md`; `--help` prints the usage summary below.
 //!
-//! The JSON is written one kernel per line and parsed with a minimal scanner
+//! The JSON is written one row per line and parsed with a minimal scanner
 //! (no serde in the offline build); extra keys such as the hand-recorded
-//! `pre_pr_ms` history are preserved by ignoring them.
+//! `pre_pr_ms` history and the throughput fields of `batch_throughput` are
+//! preserved by ignoring them.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use npbench::runner::{time_dace, time_fd_validation};
+use npbench::runner::{time_batch, time_dace, time_fd_validation};
 use npbench::{all_kernels, kernel_by_name, Preset};
+
+/// Batch size per kernel for the `batch_throughput` row.
+const BATCH_ITEMS: usize = 8;
+
+/// Kernels aggregated into the `batch_throughput` row (one vectorized, one
+/// loop-heavy, per the figure split).
+const BATCH_KERNELS: [&str; 2] = ["atax", "jacobi2d"];
+
+const USAGE: &str = "\
+Usage: record_baseline [OPTIONS]
+
+Record mode (default) measures every NPBench kernel's DaCe-AD gradient at
+the chosen preset, plus the `fd_validation` row (one finite-difference sweep
+at a fixed 12x10 atax size) and the `batch_throughput` row (batched serving
+of atax + jacobi2d via BatchDriver; its `dace_ms` is the batched
+milliseconds per item, and the row also records serial/batched items-per-sec
+and the fan-out width), then writes one JSON object per row.
+
+Compare mode re-measures and exits non-zero when any row's `dace_ms`
+regressed by more than --max-regression (default 0.25 = 25%).
+
+Options:
+  --preset bench|test      problem-size preset (default: bench)
+  --reps N                 best-of-N timing repetitions (default: 3)
+  --out FILE               record mode: write rows to FILE (default: stdout)
+  --compare FILE           compare mode: check against the rows in FILE
+  --max-regression R       compare mode: allowed slowdown ratio (default 0.25)
+  --help                   print this message
+
+See docs/benchmarking.md for the methodology and the baseline row schema.
+";
 
 struct Args {
     preset: Preset,
@@ -38,7 +66,7 @@ struct Args {
     max_regression: f64,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         preset: Preset::Bench,
         reps: 3,
@@ -54,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("missing value for `{}`", argv[i]))
         };
         match argv[i].as_str() {
+            "--help" | "-h" => return Ok(None),
             "--preset" => {
                 args.preset = match need(i)?.as_str() {
                     "bench" => Preset::Bench,
@@ -85,14 +114,56 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(args)
+    Ok(Some(args))
+}
+
+/// The `batch_throughput` row: batched serving of [`BATCH_KERNELS`] through
+/// `BatchDriver`, aggregated over both kernels.
+struct BatchRow {
+    /// Batched milliseconds per item — the regression-guarded figure.
+    dace_ms: f64,
+    /// Items/sec of the serial single-session loop over the same batches.
+    serial_items_per_sec: f64,
+    /// Items/sec of the batched driver.
+    batched_items_per_sec: f64,
+    /// `serial / batched` wall-clock ratio.
+    speedup: f64,
+    /// Effective fan-out width of the batched runs.
+    workers: usize,
+    /// Total items served (batch size × kernels).
+    items: usize,
+}
+
+fn measure_batch(preset: Preset, reps: usize) -> Result<BatchRow, String> {
+    let mut items = 0usize;
+    let mut serial_secs = 0.0f64;
+    let mut batched_secs = 0.0f64;
+    let mut workers = 1usize;
+    for name in BATCH_KERNELS {
+        let kernel = kernel_by_name(name).expect("batch kernel is registered");
+        let sizes = kernel.sizes(preset);
+        let t = time_batch(kernel.as_ref(), &sizes, BATCH_ITEMS, reps, 0)
+            .map_err(|e| format!("{name}: {e}"))?;
+        items += t.items;
+        serial_secs += t.serial.as_secs_f64();
+        batched_secs += t.batched.as_secs_f64();
+        workers = t.workers;
+    }
+    Ok(BatchRow {
+        dace_ms: batched_secs / items as f64 * 1e3,
+        serial_items_per_sec: items as f64 / serial_secs.max(1e-12),
+        batched_items_per_sec: items as f64 / batched_secs.max(1e-12),
+        speedup: serial_secs / batched_secs.max(1e-12),
+        workers,
+        items,
+    })
 }
 
 /// Measure every kernel (`name -> gradient time in ms`) plus the
-/// `fd_validation` row.  A kernel that fails to produce a gradient is a hard
-/// error: silently dropping it would let a broken kernel pass both record
-/// and compare modes.
-fn measure(preset: Preset, reps: usize) -> Result<BTreeMap<String, f64>, String> {
+/// `fd_validation` and `batch_throughput` rows.  A kernel that fails to
+/// produce a gradient is a hard error: silently dropping it would let a
+/// broken kernel pass both record and compare modes.
+fn measure(preset: Preset, reps: usize) -> Result<(BTreeMap<String, f64>, BatchRow), String> {
     let mut out = BTreeMap::new();
     let mut failures = Vec::new();
     for kernel in all_kernels() {
@@ -124,13 +195,26 @@ fn measure(preset: Preset, reps: usize) -> Result<BTreeMap<String, f64>, String>
             failures.push("fd_validation".to_string());
         }
     }
-    if failures.is_empty() {
-        Ok(out)
-    } else {
-        Err(format!(
+    // Batched serving throughput (atax + jacobi2d through `BatchDriver`).
+    // Guards the per-item cost of the batched path; the extra row fields
+    // record the serial-vs-batched items/sec comparison.
+    let batch = match measure_batch(preset, reps) {
+        Ok(b) => {
+            out.insert("batch_throughput".to_string(), b.dace_ms);
+            Some(b)
+        }
+        Err(e) => {
+            eprintln!("batch_throughput: measurement failed: {e}");
+            failures.push("batch_throughput".to_string());
+            None
+        }
+    };
+    match batch {
+        Some(batch) if failures.is_empty() => Ok((out, batch)),
+        _ => Err(format!(
             "kernel(s) failed to measure: {}",
             failures.join(", ")
-        ))
+        )),
     }
 }
 
@@ -141,7 +225,7 @@ fn preset_name(p: Preset) -> &'static str {
     }
 }
 
-fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>) -> String {
+fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>, batch: &BatchRow) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"preset\": \"{}\",\n", preset_name(preset)));
@@ -150,9 +234,25 @@ fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>) -> String {
     let n = rows.len();
     for (i, (name, ms)) in rows.iter().enumerate() {
         let comma = if i + 1 < n { "," } else { "" };
-        s.push_str(&format!(
-            "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3} }}{comma}\n"
-        ));
+        if name == "batch_throughput" {
+            // The throughput row carries the serial-vs-batched comparison as
+            // extra keys (ignored by the compare-mode scanner).
+            s.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3}, \
+                 \"batch_items\": {}, \"workers\": {}, \
+                 \"serial_items_per_sec\": {:.1}, \"batched_items_per_sec\": {:.1}, \
+                 \"batch_speedup\": {:.2} }}{comma}\n",
+                batch.items,
+                batch.workers,
+                batch.serial_items_per_sec,
+                batch.batched_items_per_sec,
+                batch.speedup,
+            ));
+        } else {
+            s.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3} }}{comma}\n"
+            ));
+        }
     }
     s.push_str("  ]\n}\n");
     s
@@ -193,9 +293,14 @@ fn extract_num(line: &str, key: &str) -> Option<f64> {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("record_baseline: {e}");
+            eprint!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -213,7 +318,7 @@ fn main() -> ExitCode {
             eprintln!("record_baseline: no kernels found in `{path}`");
             return ExitCode::from(2);
         }
-        let now = match measure(args.preset, args.reps) {
+        let (now, _) = match measure(args.preset, args.reps) {
             Ok(n) => n,
             Err(e) => {
                 eprintln!("record_baseline: {e}");
@@ -261,14 +366,14 @@ fn main() -> ExitCode {
     }
 
     // Record mode.
-    let rows = match measure(args.preset, args.reps) {
+    let (rows, batch) = match measure(args.preset, args.reps) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("record_baseline: {e}");
             return ExitCode::from(1);
         }
     };
-    let rendered = render(args.preset, args.reps, &rows);
+    let rendered = render(args.preset, args.reps, &rows, &batch);
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &rendered) {

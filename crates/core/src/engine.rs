@@ -15,7 +15,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use dace_runtime::{compile, CompiledProgram, ExecutionReport, RuntimeError, Session};
+use dace_runtime::{
+    compile, BatchDriver, BatchError, BatchReport, CompiledProgram, ExecutionReport, RuntimeError,
+    Session,
+};
 use dace_sdfg::Sdfg;
 use dace_tensor::Tensor;
 
@@ -42,6 +45,15 @@ pub enum EngineError {
         /// Its actual shape.
         shape: Vec<usize>,
     },
+    /// One item of a [`GradientEngine::run_batch`] call panicked.  The
+    /// session that served it was discarded; the engine (and its batch
+    /// driver's session pool) stay usable.
+    BatchItemPanicked {
+        /// Index of the panicking item in the submitted batch.
+        index: usize,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -59,6 +71,9 @@ impl fmt::Display for EngineError {
                 f,
                 "output array `{name}` has shape {shape:?}, expected a scalar (length 1)"
             ),
+            EngineError::BatchItemPanicked { index, message } => {
+                write!(f, "batch item {index} panicked: {message}")
+            }
         }
     }
 }
@@ -104,6 +119,23 @@ pub struct GradientEngine {
     forward_sdfg: Sdfg,
     gradient: Session,
     forward: Option<Session>,
+    /// Batched serving driver over the gradient program, built lazily by
+    /// [`GradientEngine::run_batch`].  Its session pool persists across
+    /// batches, so steady-state batched serving runs entirely warm.
+    batch: Option<BatchDriver>,
+    /// Worker cap applied to the batch driver (0 = full pool width).
+    batch_workers: usize,
+}
+
+/// Result of one batched gradient computation: per-item results in input
+/// order plus the aggregate batch statistics.
+#[derive(Debug)]
+pub struct BatchGradientResult {
+    /// One [`GradientResult`] per input set, in submission order.
+    pub items: Vec<GradientResult>,
+    /// Aggregate throughput/counters of the batch (see
+    /// [`dace_runtime::BatchReport`]).
+    pub batch: BatchReport,
 }
 
 impl GradientEngine {
@@ -128,6 +160,8 @@ impl GradientEngine {
             forward_sdfg: forward.clone(),
             plan,
             symbols: symbols.clone(),
+            batch: None,
+            batch_workers: 0,
         })
     }
 
@@ -173,6 +207,88 @@ impl GradientEngine {
             output_value,
             report,
         })
+    }
+
+    /// Run the gradient program on a batch of independent input sets
+    /// concurrently, returning one [`GradientResult`] per set (in
+    /// submission order) plus the aggregate [`BatchReport`].
+    ///
+    /// All items execute the *same* compiled gradient program — the batch
+    /// performs zero additional lowerings however large it is — on a pool
+    /// of warm sessions fanned across the persistent worker pool (see
+    /// [`dace_runtime::BatchDriver`]).  Results are bit-identical to
+    /// looping [`GradientEngine::run`] over the same inputs.
+    ///
+    /// Input validation matches [`GradientEngine::run`] per item; the first
+    /// failing item aborts the call with its typed error (other items may
+    /// still have executed).  A panicking item yields
+    /// [`EngineError::BatchItemPanicked`] and poisons neither the engine
+    /// nor the session pool.
+    pub fn run_batch(
+        &mut self,
+        batches: &[HashMap<String, Tensor>],
+    ) -> Result<BatchGradientResult, EngineError> {
+        let GradientEngine {
+            plan,
+            gradient,
+            batch,
+            batch_workers,
+            ..
+        } = self;
+        let driver = batch.get_or_insert_with(|| {
+            let mut driver =
+                BatchDriver::new(gradient.program().clone()).with_workers(*batch_workers);
+            driver.set_free_hints(&plan.free_hints);
+            driver
+        });
+        let out = driver.run_batch_with(batches.len(), |i, session| {
+            bind_inputs(&plan.sdfg, session, &batches[i], None)?;
+            let report = session.run()?;
+            let output_value = read_scalar_output(session, &plan.output)?;
+            let mut gradients = BTreeMap::new();
+            for input in &plan.inputs {
+                if let Some(gname) = plan.gradients.get(input) {
+                    if let Some(g) = session.array(gname) {
+                        gradients.insert(input.clone(), g.clone());
+                    }
+                }
+            }
+            Ok(GradientResult {
+                gradients,
+                output_value,
+                report,
+            })
+        });
+        let mut items = Vec::with_capacity(out.items.len());
+        for (index, item) in out.items.into_iter().enumerate() {
+            match item {
+                Ok(result) => items.push(result),
+                Err(BatchError::Item(e)) => return Err(e),
+                Err(BatchError::Panicked(message)) => {
+                    return Err(EngineError::BatchItemPanicked { index, message })
+                }
+            }
+        }
+        Ok(BatchGradientResult {
+            items,
+            batch: out.report,
+        })
+    }
+
+    /// The batched serving driver, if [`GradientEngine::run_batch`] has been
+    /// called (exposes session-pool statistics).
+    pub fn batch_driver(&self) -> Option<&BatchDriver> {
+        self.batch.as_ref()
+    }
+
+    /// Cap the fan-out of [`GradientEngine::run_batch`] at `workers`
+    /// concurrent items (0 = the worker pool's full width).  Takes effect
+    /// from the next batch, including on an already-built driver.
+    pub fn set_batch_workers(&mut self, workers: usize) {
+        self.batch_workers = workers;
+        if let Some(driver) = self.batch.as_mut() {
+            driver.set_workers(workers);
+        }
     }
 
     /// Run only the forward SDFG and return the scalar value of the

@@ -30,13 +30,56 @@
 //! forward program followed by the backward program, executable by
 //! `dace-runtime` in one memory timeline (which is how the paper measures
 //! peak memory for Fig. 13).
+//!
+//! # Execution shape
+//!
+//! [`GradientEngine`] follows the runtime's compile-once/run-many model:
+//! `new` lowers the gradient SDFG exactly once (through the process-wide
+//! plan cache), and `run`, `run_batch`, `run_forward` and
+//! `finite_difference` all execute cached programs on persistent sessions.
+//! Batched serving ([`GradientEngine::run_batch`]) fans independent input
+//! sets across the worker pool over the *same* compiled gradient program,
+//! with results bit-identical to a serial loop of `run` calls.
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use dace_ad::{AdOptions, GradientEngine};
+//! use dace_frontend::{ArrayExpr, ProgramBuilder};
+//! use dace_tensor::Tensor;
+//!
+//! // OUT = sum(X * X)  =>  dOUT/dX = 2 * X
+//! let mut b = ProgramBuilder::new("sq");
+//! let n = b.symbol("N");
+//! b.add_input("X", vec![n.clone()]).unwrap();
+//! b.add_transient("T", vec![n.clone()]).unwrap();
+//! b.add_scalar("OUT").unwrap();
+//! b.assign("T", ArrayExpr::a("X").mul(ArrayExpr::a("X")));
+//! b.sum_into("OUT", "T", false);
+//! let fwd = b.build().unwrap();
+//!
+//! let symbols = HashMap::from([("N".to_string(), 3)]);
+//! let mut engine =
+//!     GradientEngine::new(&fwd, "OUT", &["X"], &symbols, &AdOptions::default()).unwrap();
+//! let inputs = HashMap::from([(
+//!     "X".to_string(),
+//!     Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap(),
+//! )]);
+//! let result = engine.run(&inputs).unwrap();
+//! assert_eq!(result.gradients["X"].data(), &[2.0, 4.0, 6.0]);
+//!
+//! // Batched serving: N input sets in, N gradient maps out — all items
+//! // share the engine's single gradient lowering.
+//! let batch = engine.run_batch(&[inputs.clone(), inputs]).unwrap();
+//! assert_eq!(batch.items.len(), 2);
+//! assert_eq!(batch.batch.plan_cache.misses, 1);
+//! ```
 
 pub mod checkpoint;
 pub mod engine;
 pub mod reverse;
 
 pub use checkpoint::{CheckpointReport, RecomputeCandidate};
-pub use engine::{EngineError, GradientEngine, GradientResult};
+pub use engine::{BatchGradientResult, EngineError, GradientEngine, GradientResult};
 pub use reverse::{generate_backward, AdError, BackwardPlan};
 
 /// Strategy for the store-vs-recompute (re-materialisation) trade-off.

@@ -1,0 +1,194 @@
+//! Command-line runner for the NPBench kernel suite.
+//!
+//! Serial mode times the DaCe-AD gradient of each selected kernel against
+//! the jax-rs baseline (one row per kernel, like the paper's tables):
+//!
+//! ```text
+//! npbench [--kernel NAME[,NAME...]] [--preset test|bench] [--reps N]
+//! ```
+//!
+//! Batch mode (`--batch N`) exercises the batched serving path instead:
+//! every selected kernel's gradient program serves `N` distinct input sets
+//! through `GradientEngine::run_batch`, and the row compares items/sec of
+//! the serial single-session loop against the batched driver:
+//!
+//! ```text
+//! npbench --batch 8 [--workers W] [--kernel atax,jacobi2d] [--preset bench]
+//! ```
+//!
+//! See `docs/benchmarking.md` for the measurement methodology.
+
+use std::process::ExitCode;
+
+use npbench::runner::{time_batch, time_dace, time_jax};
+use npbench::{all_kernels, kernel_by_name, Kernel, Preset};
+
+struct Args {
+    kernels: Option<Vec<String>>,
+    preset: Preset,
+    reps: usize,
+    batch: usize,
+    workers: usize,
+}
+
+const USAGE: &str = "\
+Usage: npbench [OPTIONS]
+
+Options:
+  --kernel NAME[,NAME...]  run only the named kernels (default: all)
+  --preset test|bench      problem-size preset (default: bench)
+  --reps N                 best-of-N timing repetitions (default: 3)
+  --batch N                batched-serving mode: serve N input sets per
+                           kernel through GradientEngine::run_batch and
+                           report items/sec vs the serial session loop
+  --workers W              cap the batched fan-out at W concurrent items
+                           (default: the worker pool's full width)
+  --help                   print this message
+";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        kernels: None,
+        preset: Preset::Bench,
+        reps: 3,
+        batch: 0,
+        workers: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("missing value for `{}`", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--kernel" => {
+                args.kernels = Some(need(i)?.split(',').map(str::to_string).collect());
+                i += 2;
+            }
+            "--preset" => {
+                args.preset = match need(i)?.as_str() {
+                    "bench" => Preset::Bench,
+                    "test" => Preset::Test,
+                    other => return Err(format!("unknown preset `{other}`")),
+                };
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --reps value: {e}"))?;
+                i += 2;
+            }
+            "--batch" => {
+                args.batch = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --batch value: {e}"))?;
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --workers value: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn selected_kernels(names: &Option<Vec<String>>) -> Result<Vec<Box<dyn Kernel>>, String> {
+    match names {
+        None => Ok(all_kernels()),
+        Some(names) => names
+            .iter()
+            .map(|n| kernel_by_name(n).ok_or_else(|| format!("unknown kernel `{n}`")))
+            .collect(),
+    }
+}
+
+fn run_serial(kernels: &[Box<dyn Kernel>], preset: Preset, reps: usize) -> Result<(), String> {
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "kernel", "DaCe AD [ms]", "baseline [ms]", "speedup"
+    );
+    for kernel in kernels {
+        let sizes = kernel.sizes(preset);
+        let inputs = kernel.inputs(&sizes);
+        let dace = time_dace(kernel.as_ref(), &sizes, &inputs, reps)
+            .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        let jax = time_jax(kernel.as_ref(), &sizes, &inputs, reps);
+        println!(
+            "{:<12} {:>14.3} {:>14.3} {:>9.2}x",
+            kernel.name(),
+            dace.elapsed.as_secs_f64() * 1e3,
+            jax.elapsed.as_secs_f64() * 1e3,
+            jax.elapsed.as_secs_f64() / dace.elapsed.as_secs_f64().max(1e-12),
+        );
+    }
+    Ok(())
+}
+
+fn run_batched(
+    kernels: &[Box<dyn Kernel>],
+    preset: Preset,
+    reps: usize,
+    batch: usize,
+    workers: usize,
+) -> Result<(), String> {
+    println!(
+        "{:<12} {:>6} {:>8} {:>16} {:>16} {:>9}",
+        "kernel", "items", "workers", "serial [it/s]", "batched [it/s]", "speedup"
+    );
+    for kernel in kernels {
+        let sizes = kernel.sizes(preset);
+        let t = time_batch(kernel.as_ref(), &sizes, batch, reps, workers)
+            .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        println!(
+            "{:<12} {:>6} {:>8} {:>16.1} {:>16.1} {:>8.2}x",
+            kernel.name(),
+            t.items,
+            t.workers,
+            t.serial_items_per_sec,
+            t.batched_items_per_sec,
+            t.speedup,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("npbench: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let kernels = match selected_kernels(&args.kernels) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("npbench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.batch > 0 {
+        run_batched(&kernels, args.preset, args.reps, args.batch, args.workers)
+    } else {
+        run_serial(&kernels, args.preset, args.reps)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("npbench: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -96,6 +96,98 @@ pub fn time_fd_validation(
     })
 }
 
+/// Serial-vs-batched timing of one kernel's gradient over a batch of
+/// distinct input sets (see [`time_batch`]).
+#[derive(Clone, Debug)]
+pub struct BatchTiming {
+    /// Number of input sets in the batch.
+    pub items: usize,
+    /// Effective fan-out width of the batched runs.
+    pub workers: usize,
+    /// Best wall-clock time of serving the whole batch through a serial
+    /// single-session loop (`GradientEngine::run` per item).
+    pub serial: Duration,
+    /// Best wall-clock time of serving the same batch through
+    /// `GradientEngine::run_batch`.
+    pub batched: Duration,
+    /// Serial items/sec.
+    pub serial_items_per_sec: f64,
+    /// Batched items/sec.
+    pub batched_items_per_sec: f64,
+    /// `serial / batched` — the batched-serving speedup.
+    pub speedup: f64,
+}
+
+/// Build `batch` distinct input sets for a kernel: the seeded base inputs,
+/// shifted by a small per-item constant so every request carries different
+/// data (as concurrent users would) while staying numerically tame.
+pub fn batch_inputs(
+    kernel: &dyn Kernel,
+    sizes: &Sizes,
+    batch: usize,
+) -> Vec<HashMap<String, Tensor>> {
+    let base = kernel.inputs(sizes);
+    (0..batch)
+        .map(|i| {
+            base.iter()
+                .map(|(name, tensor)| (name.clone(), tensor.add_scalar(i as f64 * 1e-3)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Time batched gradient serving against the serial single-session loop on
+/// the same batch: one engine, one compiled gradient program, `batch`
+/// distinct input sets.  Both paths are warmed first (the paper's
+/// methodology excludes compilation and cold-cache effects), then each is
+/// measured best-of-`repetitions`.  `workers` caps the batched fan-out
+/// (0 = the worker pool's full width).
+pub fn time_batch(
+    kernel: &dyn Kernel,
+    sizes: &Sizes,
+    batch: usize,
+    repetitions: usize,
+    workers: usize,
+) -> Result<BatchTiming, String> {
+    let sdfg = kernel.build_dace(sizes);
+    let symbols = kernel.symbols(sizes);
+    let wrt = kernel.wrt();
+    let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
+        .map_err(|e| e.to_string())?;
+    engine.set_batch_workers(workers);
+    let items = batch_inputs(kernel, sizes, batch);
+
+    // Warm both paths: the serial session and the batch driver's pool.
+    engine.run(&items[0]).map_err(|e| e.to_string())?;
+    engine.run_batch(&items).map_err(|e| e.to_string())?;
+
+    let mut serial = Duration::MAX;
+    let mut batched = Duration::MAX;
+    let mut effective_workers = 1;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        for item in &items {
+            engine.run(item).map_err(|e| e.to_string())?;
+        }
+        serial = serial.min(start.elapsed());
+
+        let start = Instant::now();
+        let out = engine.run_batch(&items).map_err(|e| e.to_string())?;
+        batched = batched.min(start.elapsed());
+        effective_workers = out.batch.workers;
+    }
+    let per_sec = |d: Duration| batch as f64 / d.as_secs_f64().max(1e-12);
+    Ok(BatchTiming {
+        items: batch,
+        workers: effective_workers,
+        serial,
+        batched,
+        serial_items_per_sec: per_sec(serial),
+        batched_items_per_sec: per_sec(batched),
+        speedup: serial.as_secs_f64() / batched.as_secs_f64().max(1e-12),
+    })
+}
+
 /// Time the jax-rs gradient computation.
 pub fn time_jax(
     kernel: &dyn Kernel,
@@ -121,6 +213,17 @@ pub fn time_jax(
 mod tests {
     use super::*;
     use crate::Preset;
+
+    #[test]
+    fn batch_timing_runs_for_a_small_kernel() {
+        let kernel = crate::kernel_by_name("atax").unwrap();
+        let sizes = kernel.sizes(Preset::Test);
+        let t = time_batch(kernel.as_ref(), &sizes, 4, 1, 2).unwrap();
+        assert_eq!(t.items, 4);
+        assert!(t.workers >= 1 && t.workers <= 2);
+        assert!(t.serial_items_per_sec > 0.0 && t.batched_items_per_sec > 0.0);
+        assert!(t.speedup > 0.0);
+    }
 
     #[test]
     fn timing_runs_for_a_small_kernel() {

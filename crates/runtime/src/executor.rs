@@ -134,10 +134,17 @@ pub struct Executor {
 
 impl Executor {
     /// Create an executor for an SDFG with concrete symbol values.
+    ///
+    /// Deprecated: this shim wraps the compile-once API and exists only for
+    /// source compatibility.  The "Migrating from `Executor::new`" section of
+    /// the repository README (under "Execution pipeline: build → compile
+    /// once → run many") maps every `Executor` method to its
+    /// `compile`/[`Session`] replacement, and `ARCHITECTURE.md` documents
+    /// where the compile-once pipeline sits in the overall system.
     #[deprecated(
         since = "0.2.0",
-        note = "use `dace_runtime::compile(sdfg, symbols)?.session()`; a `Session` reuses \
-                the compiled plan (via the plan cache) and its tensor slab across runs"
+        note = "use `dace_runtime::compile(sdfg, symbols)?.session()` — see the \"Migrating \
+                from `Executor::new`\" section of README.md for the method-by-method mapping"
     )]
     pub fn new(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Self> {
         Ok(Executor {

@@ -20,17 +20,67 @@
 //!   allocations on the hot paths) and **reuses its tensor slab across
 //!   runs** — transients are recycled and zero-filled in place rather than
 //!   reallocated.
+//! * [`batch::BatchDriver`] is the concurrent serving layer: one shared
+//!   program, a pool of warm sessions, and batch fan-out over the persistent
+//!   worker pool with per-item panic isolation.
 //! * [`executor::Executor`] is the deprecated coupled compile-and-run shim
 //!   kept for migration; [`memory::MemoryTracker`] provides the allocation
 //!   tracking and peak-memory measurement used by the checkpointing
 //!   experiments (Fig. 13).
+//!
+//! # Invariants
+//!
+//! * **Plan immutability** — a lowered execution plan is never mutated
+//!   after [`compile`] returns; [`CompiledProgram`] and every [`Session`] /
+//!   [`BatchDriver`] hold it behind a shared `Arc`.  All mutable run state
+//!   (slab, symbol file, scratch registers) lives in the session.
+//! * **Slab reuse** — a session's tensor allocations survive across runs:
+//!   transients recycle through an internal pool and are zero-filled in
+//!   place, unbound outputs are reset in place.  Results are bit-identical
+//!   to a run on a freshly opened session with the same bindings.
+//! * **Cache keying** — the plan cache key is (structural SDFG fingerprint,
+//!   sorted concrete symbol values); a plan is valid for exactly that pair
+//!   and [`compile`] never returns a plan specialised for different symbol
+//!   values.
+//!
+//! # Example
+//!
+//! Compile once, bind, run, read (see [`crate::batch`] for the batched
+//! serving variant of the same program):
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use dace_frontend::{ArrayExpr, ProgramBuilder};
+//! use dace_tensor::Tensor;
+//!
+//! // Y = X + 1, lowered to an SDFG by the frontend.
+//! let mut b = ProgramBuilder::new("inc");
+//! let n = b.symbol("N");
+//! b.add_input("X", vec![n.clone()]).unwrap();
+//! b.add_input("Y", vec![n.clone()]).unwrap();
+//! b.assign("Y", ArrayExpr::a("X").add(ArrayExpr::s(1.0)));
+//! let sdfg = b.build().unwrap();
+//!
+//! let symbols = HashMap::from([("N".to_string(), 3)]);
+//! let program = dace_runtime::compile(&sdfg, &symbols).unwrap();
+//! let mut session = program.session();
+//! session
+//!     .set_input("X", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap())
+//!     .unwrap();
+//! let report = session.run().unwrap();
+//! assert_eq!(session.array("Y").unwrap().data(), &[2.0, 3.0, 4.0]);
+//! // The (SDFG, symbols) pair was lowered exactly once.
+//! assert_eq!(report.plan_cache_misses, 1);
+//! ```
 
+pub mod batch;
 pub mod error;
 pub mod executor;
 pub mod memory;
 mod plan;
 mod program;
 
+pub use batch::{BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport};
 pub use error::{RuntimeError, RuntimeResult};
 pub use executor::{ExecutionReport, Executor, MapPath};
 pub use memory::MemoryTracker;

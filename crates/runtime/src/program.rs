@@ -281,6 +281,31 @@ impl CompiledProgram {
 /// array in place (e.g. an in-place stencil) leaves the *mutated* tensor
 /// bound, so callers that need fresh values must rebind before the next run
 /// (or call [`Session::clear_bindings`]).
+///
+/// ```
+/// use std::collections::HashMap;
+/// use dace_frontend::{ArrayExpr, ProgramBuilder};
+/// use dace_tensor::Tensor;
+///
+/// let mut b = ProgramBuilder::new("scale");
+/// let n = b.symbol("N");
+/// b.add_input("X", vec![n.clone()]).unwrap();
+/// b.add_input("Y", vec![n.clone()]).unwrap();
+/// b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(2.0)));
+/// let sdfg = b.build().unwrap();
+///
+/// let program = dace_runtime::compile(&sdfg, &HashMap::from([("N".to_string(), 2)])).unwrap();
+/// let mut session = program.session();
+/// // Rebinding and re-running reuses the session's tensor slab: no plan
+/// // work, no reallocation, results identical to a fresh session.
+/// for scale in [1.0, 3.0] {
+///     session
+///         .set_input("X", Tensor::from_vec(vec![scale, scale], &[2]).unwrap())
+///         .unwrap();
+///     session.run().unwrap();
+///     assert_eq!(session.array("Y").unwrap().data(), &[2.0 * scale; 2]);
+/// }
+/// ```
 pub struct Session {
     program: CompiledProgram,
     st: RunState,
@@ -392,6 +417,20 @@ impl Session {
     /// The memory tracker of the most recent run (for tests and benchmarks).
     pub fn tracker(&self) -> &MemoryTracker {
         &self.st.tracker
+    }
+
+    /// The execution report of the most recent [`Session::run`] (all-zero
+    /// before the first run).  [`crate::BatchDriver`] aggregates batch
+    /// totals from this without requiring every caller to thread reports
+    /// through.
+    pub fn last_report(&self) -> &ExecutionReport {
+        &self.st.report
+    }
+
+    /// Zero the last-run report.  Used by [`crate::BatchDriver`] at session
+    /// checkout so per-item accounting never sees a previous tenant's run.
+    pub(crate) fn reset_report(&mut self) {
+        self.st.report = ExecutionReport::default();
     }
 
     /// Execute the program.

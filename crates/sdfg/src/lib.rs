@@ -22,6 +22,33 @@
 //! The [`analysis`] module implements the critical computation subgraph
 //! (CCS) extraction of Section II plus the access summaries and cost
 //! estimates used by the AD engine and the ILP checkpointing model.
+//!
+//! # Invariants
+//!
+//! * An [`sdfg::Sdfg`] is **pure structure**: it owns no tensors and no
+//!   runtime state, so it can be cloned, transformed (the reverse pass
+//!   rewrites it freely) and hashed.  `dace-runtime` fingerprints the
+//!   structure — names, shapes, tasklet code, memlets, control flow — as
+//!   one half of its plan-cache key, so any structural change produces a
+//!   different compiled plan.
+//! * Array shapes and loop bounds are *symbolic* ([`symexpr::SymExpr`])
+//!   until execution: concrete symbol values are supplied at plan
+//!   compilation, which is why a plan is specialised per (SDFG, symbol
+//!   values) pair rather than per SDFG.
+//! * [`scalar_expr::ScalarExpr`] is closed under differentiation
+//!   ([`scalar_expr::ScalarExpr::derivative`]): the reverse pass emits
+//!   adjoint tasklets in the same language it reads, so differentiated
+//!   programs lower and execute exactly like hand-written ones.
+//!
+//! ```
+//! use dace_sdfg::SymExpr;
+//!
+//! // Symbolic sizes evaluate once concrete values are known.
+//! let n = SymExpr::sym("N");
+//! let bound = n.mul(&n).add_int(1); // N*N + 1
+//! let vals = std::collections::HashMap::from([("N".to_string(), 4i64)]);
+//! assert_eq!(bound.eval(&vals).unwrap(), 17);
+//! ```
 
 pub mod analysis;
 pub mod graph;

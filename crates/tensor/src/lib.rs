@@ -19,6 +19,30 @@
 //!   movement" path the paper highlights for DaCe is modelled by scalar
 //!   element accessors ([`Tensor::at`] / [`Tensor::at_mut`]) which the SDFG
 //!   interpreter uses for single-element memlets.
+//!
+//! # Invariants
+//!
+//! * A [`Tensor`] is always contiguous row-major: `data.len()` equals the
+//!   product of `shape()`, and strides are derived from the shape — there
+//!   are no views, broadcasts or negative strides to reason about.
+//! * [`Tensor`] is plain owned data (`Vec<f64>` + shape), hence `Send` and
+//!   `Sync`; `dace-runtime` relies on this to move tensors between pooled
+//!   sessions and worker threads and to share read-only snapshots during
+//!   parallel map execution.
+//! * [`allclose`] follows NumPy semantics, including non-finite handling:
+//!   `NaN != NaN`, and infinities match only with equal signs.
+//!
+//! ```
+//! use dace_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! assert_eq!(a.shape(), &[2, 2]);
+//! assert_eq!(a.at(&[1, 0]).unwrap(), 3.0);
+//! let b = a.add_scalar(1.0);
+//! assert_eq!(b.data(), &[2.0, 3.0, 4.0, 5.0]);
+//! // The paper's validation predicate:
+//! assert!(dace_tensor::allclose(&b, &b.clone(), 1e-8, 1e-12));
+//! ```
 
 pub mod error;
 pub mod linalg;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in the repo's *.md files points at
+# a file or directory that exists.  External links (http/https/mailto) and
+# pure in-page anchors (#...) are skipped; an anchor suffix on a relative
+# link is stripped before the existence check.  Exits non-zero listing every
+# broken link.  Plain grep/sed, no dependencies — run from the repo root.
+set -u
+
+fail=0
+# Markdown files tracked by git (falls back to find outside a checkout).
+if files=$(git ls-files '*.md' 2>/dev/null) && [ -n "$files" ]; then
+    :
+else
+    files=$(find . -name '*.md' -not -path './target/*' | sed 's|^\./||')
+fi
+
+for f in $files; do
+    dir=$(dirname "$f")
+    # Inline links: capture the (...) target of ](...), one per line.
+    links=$(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+    for link in $links; do
+        case "$link" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        target=${link%%#*} # strip any anchor suffix
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "$f: broken relative link -> $link"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check FAILED"
+    exit 1
+fi
+echo "markdown link check OK"

@@ -18,11 +18,17 @@ pub use npbench;
 
 /// Convenience re-exports for examples and integration tests.
 pub mod prelude {
-    pub use dace_ad::{AdOptions, BackwardPlan, CheckpointStrategy, EngineError, GradientEngine};
+    pub use dace_ad::{
+        AdOptions, BackwardPlan, BatchGradientResult, CheckpointStrategy, EngineError,
+        GradientEngine,
+    };
     pub use dace_frontend::{ArrayExpr, ProgramBuilder, ScalarRef};
     #[allow(deprecated)]
     pub use dace_runtime::Executor;
-    pub use dace_runtime::{compile, CompiledProgram, ExecutionReport, PlanCacheStats, Session};
+    pub use dace_runtime::{
+        compile, BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport,
+        CompiledProgram, ExecutionReport, PlanCacheStats, Session,
+    };
     pub use dace_sdfg::{DType, Sdfg, SymExpr};
     pub use dace_tensor::{allclose, allclose_default, Tensor};
 }
