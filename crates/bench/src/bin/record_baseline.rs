@@ -1,13 +1,17 @@
 //! Record or check perf baselines for the figure kernels.
 //!
 //! Record mode runs every NPBench kernel's DaCe-AD gradient at the chosen
-//! preset, plus two synthetic rows — `fd_validation` (one finite-difference
-//! validation sweep at a fixed small 12×10 atax size, guarding the
-//! compile-once property: one forward lowering per sweep instead of two per
-//! input element) and `batch_throughput` (batched gradient serving of atax +
-//! jacobi2d through `BatchDriver`, guarding the per-item cost of the batched
-//! path; the row also records items/sec for both the serial loop and the
-//! batched driver) — and writes one JSON object per row to the output file.
+//! preset, plus three synthetic rows — `fd_validation` (one
+//! finite-difference validation sweep at a fixed small 12×10 atax size,
+//! guarding the compile-once property: one forward lowering per sweep
+//! instead of two per input element), `batch_throughput` (batched gradient
+//! serving of atax + jacobi2d through `BatchDriver`, guarding the per-item
+//! cost of the batched path; the row also records items/sec for both the
+//! serial loop and the batched driver) and `serve_latency` (open-loop
+//! dynamic-admission serving of the same kernels through `ServeDriver`,
+//! guarding the per-request cost of the serve path; the row also records
+//! p50/p95 latency and the observed coalescing) — and writes one JSON
+//! object per row to the output file.
 //!
 //! Compare mode re-measures and exits non-zero when any row regressed by
 //! more than `--max-regression` (default 0.25 = 25%) against the stored
@@ -24,7 +28,9 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use npbench::runner::{time_batch, time_dace, time_fd_validation};
+use npbench::runner::{
+    percentile_ms, serve_options, time_batch, time_dace, time_fd_validation, time_serve,
+};
 use npbench::{all_kernels, kernel_by_name, Preset};
 
 /// Batch size per kernel for the `batch_throughput` row.
@@ -34,15 +40,26 @@ const BATCH_ITEMS: usize = 8;
 /// loop-heavy, per the figure split).
 const BATCH_KERNELS: [&str; 2] = ["atax", "jacobi2d"];
 
+/// Requests per kernel for the `serve_latency` row (two full admission
+/// batches at the default `max_batch = 8`).
+const SERVE_REQUESTS: usize = 16;
+
+/// Kernels aggregated into the `serve_latency` row (same pair as the batch
+/// row, so the two serving layers are compared on identical work).
+const SERVE_KERNELS: [&str; 2] = ["atax", "jacobi2d"];
+
 const USAGE: &str = "\
 Usage: record_baseline [OPTIONS]
 
 Record mode (default) measures every NPBench kernel's DaCe-AD gradient at
 the chosen preset, plus the `fd_validation` row (one finite-difference sweep
-at a fixed 12x10 atax size) and the `batch_throughput` row (batched serving
+at a fixed 12x10 atax size), the `batch_throughput` row (batched serving
 of atax + jacobi2d via BatchDriver; its `dace_ms` is the batched
 milliseconds per item, and the row also records serial/batched items-per-sec
-and the fan-out width), then writes one JSON object per row.
+and the fan-out width) and the `serve_latency` row (open-loop
+dynamic-admission serving of the same kernels via ServeDriver; its `dace_ms`
+is wall-clock per request, with p50/p95 latency and the largest coalesced
+batch as extra keys), then writes one JSON object per row.
 
 Compare mode re-measures and exits non-zero when any row's `dace_ms`
 regressed by more than --max-regression (default 0.25 = 25%).
@@ -134,6 +151,63 @@ struct BatchRow {
     items: usize,
 }
 
+/// The `serve_latency` row: open-loop serving of [`SERVE_KERNELS`] through
+/// the dynamic-admission `ServeDriver` (unpaced submissions, default
+/// admission options), aggregated over both kernels.
+struct ServeRow {
+    /// Wall-clock per request (first submit to last completion) — the
+    /// regression-guarded figure.
+    dace_ms: f64,
+    /// Median submit-to-completion latency across all requests.
+    p50_ms: f64,
+    /// 95th-percentile submit-to-completion latency.
+    p95_ms: f64,
+    /// Total requests served (requests × kernels).
+    requests: usize,
+    /// Largest number of requests one dispatch coalesced.
+    largest_batch: usize,
+}
+
+fn measure_serve(preset: Preset, reps: usize) -> Result<ServeRow, String> {
+    let options = serve_options(8, 2.0, 0);
+    let mut requests = 0usize;
+    let mut total_secs = 0.0f64;
+    let mut latencies = Vec::new();
+    let mut largest_batch = 0usize;
+    for name in SERVE_KERNELS {
+        let kernel = kernel_by_name(name).expect("serve kernel is registered");
+        let sizes = kernel.sizes(preset);
+        let t = time_serve(
+            kernel.as_ref(),
+            &sizes,
+            SERVE_REQUESTS,
+            0.0,
+            None,
+            options.clone(),
+            reps,
+        )
+        .map_err(|e| format!("{name}: {e}"))?;
+        if t.lost > 0 || t.failed > 0 || t.expired > 0 {
+            return Err(format!(
+                "{name}: serve row lost/failed/expired requests ({}/{}/{})",
+                t.lost, t.failed, t.expired
+            ));
+        }
+        requests += t.requests;
+        total_secs += t.elapsed.as_secs_f64();
+        latencies.extend(t.latencies_ms);
+        largest_batch = largest_batch.max(t.largest_batch);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Ok(ServeRow {
+        dace_ms: total_secs / requests as f64 * 1e3,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p95_ms: percentile_ms(&latencies, 0.95),
+        requests,
+        largest_batch,
+    })
+}
+
 fn measure_batch(preset: Preset, reps: usize) -> Result<BatchRow, String> {
     let mut items = 0usize;
     let mut serial_secs = 0.0f64;
@@ -160,10 +234,14 @@ fn measure_batch(preset: Preset, reps: usize) -> Result<BatchRow, String> {
 }
 
 /// Measure every kernel (`name -> gradient time in ms`) plus the
-/// `fd_validation` and `batch_throughput` rows.  A kernel that fails to
-/// produce a gradient is a hard error: silently dropping it would let a
-/// broken kernel pass both record and compare modes.
-fn measure(preset: Preset, reps: usize) -> Result<(BTreeMap<String, f64>, BatchRow), String> {
+/// `fd_validation`, `batch_throughput` and `serve_latency` rows.  A kernel
+/// that fails to produce a gradient is a hard error: silently dropping it
+/// would let a broken kernel pass both record and compare modes.
+#[allow(clippy::type_complexity)]
+fn measure(
+    preset: Preset,
+    reps: usize,
+) -> Result<(BTreeMap<String, f64>, BatchRow, ServeRow), String> {
     let mut out = BTreeMap::new();
     let mut failures = Vec::new();
     for kernel in all_kernels() {
@@ -209,8 +287,22 @@ fn measure(preset: Preset, reps: usize) -> Result<(BTreeMap<String, f64>, BatchR
             None
         }
     };
-    match batch {
-        Some(batch) if failures.is_empty() => Ok((out, batch)),
+    // Dynamic-admission serving latency (atax + jacobi2d through
+    // `ServeDriver`).  Guards the per-request cost of the serve path —
+    // admission queue, handle completion and batching overhead included.
+    let serve = match measure_serve(preset, reps) {
+        Ok(s) => {
+            out.insert("serve_latency".to_string(), s.dace_ms);
+            Some(s)
+        }
+        Err(e) => {
+            eprintln!("serve_latency: measurement failed: {e}");
+            failures.push("serve_latency".to_string());
+            None
+        }
+    };
+    match (batch, serve) {
+        (Some(batch), Some(serve)) if failures.is_empty() => Ok((out, batch, serve)),
         _ => Err(format!(
             "kernel(s) failed to measure: {}",
             failures.join(", ")
@@ -225,7 +317,13 @@ fn preset_name(p: Preset) -> &'static str {
     }
 }
 
-fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>, batch: &BatchRow) -> String {
+fn render(
+    preset: Preset,
+    reps: usize,
+    rows: &BTreeMap<String, f64>,
+    batch: &BatchRow,
+    serve: &ServeRow,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"preset\": \"{}\",\n", preset_name(preset)));
@@ -247,6 +345,15 @@ fn render(preset: Preset, reps: usize, rows: &BTreeMap<String, f64>, batch: &Bat
                 batch.serial_items_per_sec,
                 batch.batched_items_per_sec,
                 batch.speedup,
+            ));
+        } else if name == "serve_latency" {
+            // The serving row carries latency percentiles and the observed
+            // coalescing as extra keys (ignored by the compare scanner).
+            s.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3}, \
+                 \"requests\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                 \"largest_batch\": {} }}{comma}\n",
+                serve.requests, serve.p50_ms, serve.p95_ms, serve.largest_batch,
             ));
         } else {
             s.push_str(&format!(
@@ -318,7 +425,7 @@ fn main() -> ExitCode {
             eprintln!("record_baseline: no kernels found in `{path}`");
             return ExitCode::from(2);
         }
-        let (now, _) = match measure(args.preset, args.reps) {
+        let (now, _, _) = match measure(args.preset, args.reps) {
             Ok(n) => n,
             Err(e) => {
                 eprintln!("record_baseline: {e}");
@@ -366,14 +473,14 @@ fn main() -> ExitCode {
     }
 
     // Record mode.
-    let (rows, batch) = match measure(args.preset, args.reps) {
+    let (rows, batch, serve) = match measure(args.preset, args.reps) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("record_baseline: {e}");
             return ExitCode::from(1);
         }
     };
-    let rendered = render(args.preset, args.reps, &rows, &batch);
+    let rendered = render(args.preset, args.reps, &rows, &batch, &serve);
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &rendered) {

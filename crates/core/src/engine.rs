@@ -14,10 +14,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dace_runtime::{
-    compile, BatchDriver, BatchError, BatchReport, CompiledProgram, ExecutionReport, RuntimeError,
-    Session,
+    compile, BatchDriver, BatchReport, CompiledProgram, ExecutionReport, RequestHandle,
+    RuntimeError, ServeDriver, ServeError, ServeOptions, ServeResponse, ServeStats, Session,
 };
 use dace_sdfg::Sdfg;
 use dace_tensor::Tensor;
@@ -54,6 +56,11 @@ pub enum EngineError {
         /// The panic payload, rendered as text.
         message: String,
     },
+    /// A served gradient request failed in the serving layer (deadline
+    /// expiry, cancellation, shutdown or a mid-run panic).  Plain runtime
+    /// errors of served requests surface as [`EngineError::Runtime`]
+    /// instead.
+    Serve(ServeError),
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +81,7 @@ impl fmt::Display for EngineError {
             EngineError::BatchItemPanicked { index, message } => {
                 write!(f, "batch item {index} panicked: {message}")
             }
+            EngineError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -119,12 +127,14 @@ pub struct GradientEngine {
     forward_sdfg: Sdfg,
     gradient: Session,
     forward: Option<Session>,
-    /// Batched serving driver over the gradient program, built lazily by
-    /// [`GradientEngine::run_batch`].  Its session pool persists across
-    /// batches, so steady-state batched serving runs entirely warm.
-    batch: Option<BatchDriver>,
-    /// Worker cap applied to the batch driver (0 = full pool width).
-    batch_workers: usize,
+    /// Dynamic-admission gradient server over the gradient program, built
+    /// lazily by [`GradientEngine::serve`] / [`GradientEngine::run_batch`].
+    /// Its session pool persists across requests, so steady-state serving
+    /// runs entirely warm.
+    server: Option<GradientServer>,
+    /// Admission-queue options for the server ([`ServeOptions::workers`]
+    /// doubles as the batch fan-out cap).
+    serve_options: ServeOptions,
 }
 
 /// Result of one batched gradient computation: per-item results in input
@@ -160,8 +170,8 @@ impl GradientEngine {
             forward_sdfg: forward.clone(),
             plan,
             symbols: symbols.clone(),
-            batch: None,
-            batch_workers: 0,
+            server: None,
+            serve_options: ServeOptions::default(),
         })
     }
 
@@ -213,11 +223,14 @@ impl GradientEngine {
     /// concurrently, returning one [`GradientResult`] per set (in
     /// submission order) plus the aggregate [`BatchReport`].
     ///
-    /// All items execute the *same* compiled gradient program — the batch
-    /// performs zero additional lowerings however large it is — on a pool
-    /// of warm sessions fanned across the persistent worker pool (see
-    /// [`dace_runtime::BatchDriver`]).  Results are bit-identical to
-    /// looping [`GradientEngine::run`] over the same inputs.
+    /// Implemented as **submit-all-then-wait-all over the dynamic serving
+    /// layer** ([`GradientEngine::serve`]): every input set becomes one
+    /// individually admitted request, the admission queue coalesces them
+    /// back into dispatches, and the call blocks until every handle
+    /// resolves.  The static batch API is thereby a special case of the
+    /// dynamic one — same sessions, same plan, zero additional lowerings —
+    /// and results stay bit-identical to looping [`GradientEngine::run`]
+    /// over the same inputs.
     ///
     /// Input validation matches [`GradientEngine::run`] per item; the first
     /// failing item aborts the call with its typed error (other items may
@@ -228,67 +241,157 @@ impl GradientEngine {
         &mut self,
         batches: &[HashMap<String, Tensor>],
     ) -> Result<BatchGradientResult, EngineError> {
-        let GradientEngine {
-            plan,
-            gradient,
-            batch,
-            batch_workers,
-            ..
-        } = self;
-        let driver = batch.get_or_insert_with(|| {
-            let mut driver =
-                BatchDriver::new(gradient.program().clone()).with_workers(*batch_workers);
-            driver.set_free_hints(&plan.free_hints);
-            driver
-        });
-        let out = driver.run_batch_with(batches.len(), |i, session| {
-            bind_inputs(&plan.sdfg, session, &batches[i], None)?;
-            let report = session.run()?;
-            let output_value = read_scalar_output(session, &plan.output)?;
-            let mut gradients = BTreeMap::new();
-            for input in &plan.inputs {
-                if let Some(gname) = plan.gradients.get(input) {
-                    if let Some(g) = session.array(gname) {
-                        gradients.insert(input.clone(), g.clone());
+        let start = Instant::now();
+        let server = self.serve();
+        // The whole batch should ride one dispatch at full fan-out, not be
+        // split into `max_batch`-sized sequential waves.
+        server.serve_driver().raise_max_batch(batches.len());
+        // Submit all: each input set is admitted individually.  A
+        // validation failure cancels the requests already queued (ones
+        // already dispatched run to completion and are discarded).
+        let mut handles = Vec::with_capacity(batches.len());
+        for inputs in batches {
+            match server.submit(inputs) {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    for handle in &handles {
+                        handle.cancel();
                     }
-                }
-            }
-            Ok(GradientResult {
-                gradients,
-                output_value,
-                report,
-            })
-        });
-        let mut items = Vec::with_capacity(out.items.len());
-        for (index, item) in out.items.into_iter().enumerate() {
-            match item {
-                Ok(result) => items.push(result),
-                Err(BatchError::Item(e)) => return Err(e),
-                Err(BatchError::Panicked(message)) => {
-                    return Err(EngineError::BatchItemPanicked { index, message })
+                    return Err(e);
                 }
             }
         }
-        Ok(BatchGradientResult {
-            items,
-            batch: out.report,
-        })
+        // Wait all, preserving submission order.  The first failure aborts
+        // the call; still-queued peers are cancelled rather than computed
+        // into the void (already-dispatched ones complete and are
+        // discarded).
+        let mut items = Vec::with_capacity(handles.len());
+        let mut totals = (0u64, 0u64); // (tasklets, map points)
+        let mut first_error: Option<EngineError> = None;
+        for (index, handle) in handles.into_iter().enumerate() {
+            if first_error.is_some() {
+                handle.cancel();
+                continue;
+            }
+            match handle.wait() {
+                Ok(served) => {
+                    totals.0 += served.result.report.tasklet_invocations;
+                    totals.1 += served.result.report.map_points;
+                    items.push(served.result);
+                }
+                Err(EngineError::Serve(ServeError::Panicked(message))) => {
+                    first_error = Some(EngineError::BatchItemPanicked { index, message });
+                }
+                Err(e) => first_error = Some(e),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let elapsed = start.elapsed();
+        let n = items.len();
+        let driver = server.driver.batch_driver();
+        let batch = BatchReport {
+            items: n,
+            succeeded: n,
+            failed: 0,
+            workers: driver.fanout_width(n),
+            elapsed,
+            items_per_sec: if n == 0 {
+                0.0
+            } else {
+                n as f64 / elapsed.as_secs_f64().max(1e-12)
+            },
+            total_tasklet_invocations: totals.0,
+            total_map_points: totals.1,
+            plan_cache: driver.program().cache_stats(),
+            sessions_created: driver.sessions_created(),
+            sessions_reused: driver.sessions_reused(),
+            pooled_sessions: driver.pooled_sessions(),
+        };
+        Ok(BatchGradientResult { items, batch })
     }
 
-    /// The batched serving driver, if [`GradientEngine::run_batch`] has been
+    /// The session-pool driver behind the engine's server, if
+    /// [`GradientEngine::serve`] or [`GradientEngine::run_batch`] has been
     /// called (exposes session-pool statistics).
     pub fn batch_driver(&self) -> Option<&BatchDriver> {
-        self.batch.as_ref()
+        self.server.as_ref().map(|s| s.driver.batch_driver())
     }
 
-    /// Cap the fan-out of [`GradientEngine::run_batch`] at `workers`
-    /// concurrent items (0 = the worker pool's full width).  Takes effect
-    /// from the next batch, including on an already-built driver.
+    /// Cap the fan-out of [`GradientEngine::run_batch`] and served requests
+    /// at `workers` concurrent items (0 = the worker pool's full width).
+    /// Takes effect from the next dispatch, including on an already-built
+    /// server.
     pub fn set_batch_workers(&mut self, workers: usize) {
-        self.batch_workers = workers;
-        if let Some(driver) = self.batch.as_mut() {
-            driver.set_workers(workers);
+        self.serve_options.workers = workers;
+        if let Some(server) = &self.server {
+            server.driver.batch_driver().set_workers(workers);
         }
+    }
+
+    /// Start (or return) the engine's dynamic-admission gradient server: a
+    /// cloneable handle through which requests are submitted individually
+    /// — [`GradientServer::submit`] /
+    /// [`GradientServer::submit_with_deadline`] — and coalesced into
+    /// batches over the *same* cached gradient program the blocking
+    /// [`GradientEngine::run`] uses.  Served results are bit-identical to
+    /// `run` with the same inputs.
+    ///
+    /// The server (its admission queue, dispatcher and session pool)
+    /// persists on the engine; repeated calls return handles to the same
+    /// instance.  Clones can be moved to other threads and submit
+    /// concurrently.
+    pub fn serve(&mut self) -> GradientServer {
+        if self.server.is_none() {
+            let mut driver = BatchDriver::new(self.gradient.program().clone());
+            driver.set_free_hints(&self.plan.free_hints);
+            let serve = ServeDriver::over(driver, self.serve_options.clone());
+            let fetch: Vec<String> = std::iter::once(self.plan.output.clone())
+                .chain(self.plan.inputs.iter().filter_map(|input| {
+                    self.plan
+                        .gradients
+                        .get(input)
+                        .filter(|g| self.plan.sdfg.arrays.contains_key(*g))
+                        .cloned()
+                }))
+                .collect();
+            self.server = Some(GradientServer {
+                driver: Arc::new(serve),
+                meta: Arc::new(GradientServeMeta {
+                    transient: self
+                        .plan
+                        .sdfg
+                        .arrays
+                        .iter()
+                        .map(|(name, desc)| (name.clone(), desc.transient))
+                        .collect(),
+                    output: self.plan.output.clone(),
+                    gradients: self
+                        .plan
+                        .inputs
+                        .iter()
+                        .filter_map(|input| {
+                            self.plan
+                                .gradients
+                                .get(input)
+                                .map(|g| (input.clone(), g.clone()))
+                        })
+                        .collect(),
+                    fetch,
+                }),
+            });
+        }
+        self.server.clone().expect("server was just built")
+    }
+
+    /// [`GradientEngine::serve`] with explicit admission-queue options.
+    /// Rebuilds the server if one already exists (outstanding handles of
+    /// the old server stay valid until they resolve).
+    pub fn serve_with_options(&mut self, options: ServeOptions) -> GradientServer {
+        self.serve_options = options;
+        self.server = None;
+        self.serve()
     }
 
     /// Run only the forward SDFG and return the scalar value of the
@@ -329,6 +432,212 @@ impl GradientEngine {
             self.run_forward_with(inputs, Some((input, perturbed)))
         })
     }
+}
+
+/// Name-resolution metadata shared by every [`GradientHandle`] of one
+/// server: which program arrays are transient (for submit-time input
+/// validation), the dependent output, and the input→gradient-array mapping
+/// used to assemble [`GradientResult`]s from fetched tensors.
+#[derive(Debug)]
+struct GradientServeMeta {
+    transient: HashMap<String, bool>,
+    output: String,
+    gradients: Vec<(String, String)>,
+    fetch: Vec<String>,
+}
+
+/// Cloneable handle to a [`GradientEngine`]'s dynamic-admission server
+/// (obtained from [`GradientEngine::serve`]).
+///
+/// Requests are submitted individually and return a [`GradientHandle`]
+/// immediately; the serving layer ([`dace_runtime::ServeDriver`]) coalesces
+/// them into batches over the engine's single cached gradient program.
+/// Clones share the same admission queue, dispatcher and session pool, so
+/// any number of threads can submit concurrently.
+#[derive(Clone)]
+pub struct GradientServer {
+    driver: Arc<ServeDriver>,
+    meta: Arc<GradientServeMeta>,
+}
+
+impl std::fmt::Debug for GradientServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GradientServer")
+            .field("driver", &*self.driver)
+            .finish()
+    }
+}
+
+impl GradientServer {
+    /// Submit one gradient request.  Input names are validated immediately
+    /// (exactly like [`GradientEngine::run`]: unknown names are
+    /// [`EngineError::UnknownInput`], transients are skipped); execution
+    /// happens asynchronously once the admission queue dispatches the
+    /// request.
+    pub fn submit(&self, inputs: &HashMap<String, Tensor>) -> Result<GradientHandle, EngineError> {
+        self.submit_inner(inputs, None)
+    }
+
+    /// [`GradientServer::submit`] with a latency budget: a request still
+    /// queued `deadline` after submission is rejected with
+    /// [`dace_runtime::ServeError::DeadlineExceeded`] (surfaced as
+    /// [`EngineError::Serve`] by [`GradientHandle::wait`]) without ever
+    /// occupying a worker.
+    pub fn submit_with_deadline(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+        deadline: Duration,
+    ) -> Result<GradientHandle, EngineError> {
+        self.submit_inner(inputs, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<GradientHandle, EngineError> {
+        // Same validation surface as `bind_inputs`, performed synchronously
+        // so typos fail at the submit call, not inside the dispatcher.
+        let mut bound = HashMap::with_capacity(inputs.len());
+        for (name, tensor) in inputs {
+            match self.meta.transient.get(name) {
+                None => return Err(EngineError::UnknownInput(name.clone())),
+                Some(true) => {} // recomputed by the program itself
+                Some(false) => {
+                    bound.insert(name.clone(), tensor.clone());
+                }
+            }
+        }
+        let fetch: Vec<&str> = self.meta.fetch.iter().map(String::as_str).collect();
+        let inner = match deadline {
+            Some(d) => self.driver.submit_with_deadline(bound, &fetch, d),
+            None => self.driver.submit(bound, &fetch),
+        };
+        Ok(GradientHandle {
+            inner,
+            meta: Arc::clone(&self.meta),
+        })
+    }
+
+    /// Queue/latency/counter snapshot of the serving layer.
+    pub fn stats(&self) -> ServeStats {
+        self.driver.stats()
+    }
+
+    /// The underlying serving driver (admission-queue options, warm-up,
+    /// session-pool access).
+    pub fn serve_driver(&self) -> &ServeDriver {
+        &self.driver
+    }
+}
+
+/// A completed served gradient request: the [`GradientResult`] plus the
+/// serving-layer observability a blocking [`GradientEngine::run`] cannot
+/// provide.
+#[derive(Clone, Debug)]
+pub struct ServedGradient {
+    /// The gradient result, identical to what [`GradientEngine::run`]
+    /// returns for the same inputs.
+    pub result: GradientResult,
+    /// Submit-to-completion latency (queueing included).
+    pub latency: Duration,
+    /// How many requests the dispatch that served this one coalesced.
+    pub batched_with: usize,
+}
+
+/// Handle to one submitted gradient request (see [`GradientServer`]).
+#[derive(Debug)]
+pub struct GradientHandle {
+    inner: RequestHandle,
+    meta: Arc<GradientServeMeta>,
+}
+
+impl GradientHandle {
+    /// Monotonic id of this request (unique per server).
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Whether a result (or rejection) is available.
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Block until the request completes and take its result.
+    ///
+    /// Runtime failures surface as [`EngineError::Runtime`]; serving-layer
+    /// rejections (deadline expiry, cancellation, shutdown, panic) as
+    /// [`EngineError::Serve`].
+    pub fn wait(self) -> Result<ServedGradient, EngineError> {
+        let meta = Arc::clone(&self.meta);
+        match self.inner.wait() {
+            Ok(response) => gradient_result_from_response(&meta, response),
+            Err(e) => Err(engine_error_from_serve(e)),
+        }
+    }
+
+    /// Non-blocking poll: `Some(result)` once the request completed
+    /// (repeatable — the stored result is cloned), `None` while it is
+    /// queued or running.
+    pub fn try_wait(&self) -> Option<Result<ServedGradient, EngineError>> {
+        self.inner.try_wait().map(|polled| match polled {
+            Ok(response) => gradient_result_from_response(&self.meta, response),
+            Err(e) => Err(engine_error_from_serve(e)),
+        })
+    }
+
+    /// Best-effort cancellation: succeeds only while the request is still
+    /// queued (see [`dace_runtime::RequestHandle::cancel`]).
+    pub fn cancel(&self) -> bool {
+        self.inner.cancel()
+    }
+}
+
+fn engine_error_from_serve(e: ServeError) -> EngineError {
+    match e {
+        ServeError::Execution(e) => EngineError::Runtime(e),
+        other => EngineError::Serve(other),
+    }
+}
+
+/// Assemble a [`ServedGradient`] from the fetched arrays of a served
+/// request, applying the same output-scalar validation as
+/// [`GradientEngine::run`].
+fn gradient_result_from_response(
+    meta: &GradientServeMeta,
+    response: ServeResponse,
+) -> Result<ServedGradient, EngineError> {
+    let ServeResponse {
+        mut outputs,
+        report,
+        latency,
+        batched_with,
+    } = response;
+    let out = outputs
+        .get(&meta.output)
+        .ok_or_else(|| EngineError::MissingOutput(meta.output.clone()))?;
+    if out.len() != 1 {
+        return Err(EngineError::NonScalarOutput {
+            name: meta.output.clone(),
+            shape: out.shape().to_vec(),
+        });
+    }
+    let output_value = out.data()[0];
+    let mut gradients = BTreeMap::new();
+    for (input, gname) in &meta.gradients {
+        if let Some(g) = outputs.remove(gname) {
+            gradients.insert(input.clone(), g);
+        }
+    }
+    Ok(ServedGradient {
+        result: GradientResult {
+            gradients,
+            output_value,
+            report,
+        },
+        latency,
+        batched_with,
+    })
 }
 
 /// Bind `inputs` into a session, validating names against the SDFG's

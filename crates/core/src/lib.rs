@@ -79,7 +79,13 @@ pub mod engine;
 pub mod reverse;
 
 pub use checkpoint::{CheckpointReport, RecomputeCandidate};
-pub use engine::{BatchGradientResult, EngineError, GradientEngine, GradientResult};
+pub use engine::{
+    BatchGradientResult, EngineError, GradientEngine, GradientHandle, GradientResult,
+    GradientServer, ServedGradient,
+};
+// The serving-layer vocabulary of `GradientEngine::serve`, re-exported so
+// AD-level callers need no direct `dace-runtime` dependency.
+pub use dace_runtime::{ServeError, ServeOptions, ServeStats};
 pub use reverse::{generate_backward, AdError, BackwardPlan};
 
 /// Strategy for the store-vs-recompute (re-materialisation) trade-off.

@@ -16,11 +16,25 @@
 //! npbench --batch 8 [--workers W] [--kernel atax,jacobi2d] [--preset bench]
 //! ```
 //!
-//! See `docs/benchmarking.md` for the measurement methodology.
+//! Serve mode (`--serve RPS`) drives the dynamic-admission server with an
+//! open-loop load: `--requests` individually submitted requests per kernel,
+//! paced at `RPS` submissions per second (`0` = as fast as possible),
+//! reporting completion counters and p50/p95 latency.  The process exits
+//! non-zero if any request is lost, fails, or expires without a deadline
+//! having been set — which is what the CI serve-smoke step asserts:
+//!
+//! ```text
+//! npbench --serve 200 --requests 32 [--deadline-ms D] [--max-batch B]
+//!         [--max-wait-ms W] [--kernel atax,jacobi2d] [--preset test]
+//! ```
+//!
+//! See `docs/benchmarking.md` and `docs/serving.md` for the measurement
+//! methodology.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use npbench::runner::{time_batch, time_dace, time_jax};
+use npbench::runner::{time_batch, time_dace, time_jax, time_serve};
 use npbench::{all_kernels, kernel_by_name, Kernel, Preset};
 
 struct Args {
@@ -29,6 +43,11 @@ struct Args {
     reps: usize,
     batch: usize,
     workers: usize,
+    serve: Option<f64>,
+    requests: usize,
+    deadline_ms: Option<f64>,
+    max_batch: usize,
+    max_wait_ms: f64,
 }
 
 const USAGE: &str = "\
@@ -43,6 +62,18 @@ Options:
                            report items/sec vs the serial session loop
   --workers W              cap the batched fan-out at W concurrent items
                            (default: the worker pool's full width)
+  --serve RPS              dynamic-serving mode: open-loop load generator
+                           submitting --requests individual requests per
+                           kernel at RPS submissions/sec (0 = unpaced)
+                           through GradientEngine::serve; exits non-zero
+                           on any lost/failed/unexpectedly expired request
+  --requests N             serve mode: requests per kernel (default: 64)
+  --deadline-ms D          serve mode: per-request deadline in milliseconds
+                           (default: none; expiries are then allowed)
+  --max-batch B            serve mode: admission-queue batch bound
+                           (default: 8)
+  --max-wait-ms W          serve mode: admission-queue linger window in
+                           milliseconds (default: 2)
   --help                   print this message
 ";
 
@@ -53,6 +84,11 @@ fn parse_args() -> Result<Option<Args>, String> {
         reps: 3,
         batch: 0,
         workers: 0,
+        serve: None,
+        requests: 64,
+        deadline_ms: None,
+        max_batch: 8,
+        max_wait_ms: 2.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,6 +127,40 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.workers = need(i)?
                     .parse()
                     .map_err(|e| format!("bad --workers value: {e}"))?;
+                i += 2;
+            }
+            "--serve" => {
+                args.serve = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --serve value: {e}"))?,
+                );
+                i += 2;
+            }
+            "--requests" => {
+                args.requests = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --requests value: {e}"))?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms value: {e}"))?,
+                );
+                i += 2;
+            }
+            "--max-batch" => {
+                args.max_batch = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-batch value: {e}"))?;
+                i += 2;
+            }
+            "--max-wait-ms" => {
+                args.max_wait_ms = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-wait-ms value: {e}"))?;
                 i += 2;
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -159,6 +229,76 @@ fn run_batched(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    kernels: &[Box<dyn Kernel>],
+    preset: Preset,
+    reps: usize,
+    rps: f64,
+    requests: usize,
+    deadline_ms: Option<f64>,
+    max_batch: usize,
+    max_wait_ms: f64,
+    workers: usize,
+) -> Result<(), String> {
+    let options = npbench::runner::serve_options(max_batch, max_wait_ms, workers);
+    let deadline = deadline_ms.map(|d| Duration::from_secs_f64(d / 1e3));
+    println!(
+        "open-loop load: {requests} requests/kernel ({}), \
+         max_batch={max_batch}, max_wait={max_wait_ms}ms{}",
+        if rps > 0.0 {
+            format!("{rps:.0} submissions/sec")
+        } else {
+            "unpaced".to_string()
+        },
+        match deadline_ms {
+            Some(d) => format!(", deadline={d}ms"),
+            None => String::new(),
+        },
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "kernel", "done", "expd", "lost", "rps", "req [ms]", "p50 [ms]", "p95 [ms]", "batch"
+    );
+    let mut bad = 0usize;
+    for kernel in kernels {
+        let sizes = kernel.sizes(preset);
+        let t = time_serve(
+            kernel.as_ref(),
+            &sizes,
+            requests,
+            rps,
+            deadline,
+            options.clone(),
+            reps,
+        )
+        .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>10.1} {:>10.3} {:>10.3} {:>10.3} {:>7}",
+            kernel.name(),
+            t.completed,
+            t.expired,
+            t.lost,
+            t.achieved_rps,
+            t.per_request_ms,
+            t.p50_ms,
+            t.p95_ms,
+            t.largest_batch,
+        );
+        // The smoke contract: nothing may be lost or fail, and without a
+        // deadline nothing may expire.
+        if t.lost > 0 || t.failed > 0 || (deadline.is_none() && t.expired > 0) {
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        return Err(format!(
+            "{bad} kernel(s) lost, failed or unexpectedly expired requests"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Some(a)) => a,
@@ -179,7 +319,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = if args.batch > 0 {
+    let result = if let Some(rps) = args.serve {
+        run_serve(
+            &kernels,
+            args.preset,
+            args.reps,
+            rps,
+            args.requests,
+            args.deadline_ms,
+            args.max_batch,
+            args.max_wait_ms,
+            args.workers,
+        )
+    } else if args.batch > 0 {
         run_batched(&kernels, args.preset, args.reps, args.batch, args.workers)
     } else {
         run_serial(&kernels, args.preset, args.reps)

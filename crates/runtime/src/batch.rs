@@ -62,7 +62,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -160,23 +160,36 @@ pub struct BatchOutput<T, E> {
 /// session pool.
 pub struct BatchDriver {
     program: CompiledProgram,
-    /// Fan-out cap; 0 = the worker pool's full width.
-    workers: usize,
+    /// Fan-out cap; 0 = the worker pool's full width.  Atomic so a driver
+    /// shared behind an `Arc` (e.g. by [`crate::ServeDriver`]) can be
+    /// re-tuned while serving.
+    workers: AtomicUsize,
     /// Free hints applied to every session the driver creates (the AD
     /// engine's recomputation-block releases).
     free_hints: HashMap<usize, Vec<String>>,
+    /// Version of `free_hints`, bumped by [`BatchDriver::set_free_hints`].
+    /// Pooled sessions remember the version they were stamped with and are
+    /// re-stamped at checkout when it changed, so hint updates reach warm
+    /// pools instead of only newly created sessions.
+    hints_version: u64,
     /// Idle sessions, ready for checkout.  Their tensor slabs stay allocated
     /// between batches, so a warm request pays no allocation cost.
-    idle: Mutex<Vec<Session>>,
+    idle: Mutex<Vec<PooledSession>>,
     sessions_created: AtomicU64,
     sessions_reused: AtomicU64,
+}
+
+/// An idle session plus the free-hint version it was last stamped with.
+struct PooledSession {
+    session: Session,
+    hints_version: u64,
 }
 
 impl std::fmt::Debug for BatchDriver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchDriver")
             .field("program", &self.program)
-            .field("workers", &self.workers)
+            .field("workers", &self.worker_cap())
             .field("pooled_sessions", &self.pooled_sessions())
             .field(
                 "sessions_created",
@@ -192,8 +205,9 @@ impl BatchDriver {
     pub fn new(program: CompiledProgram) -> Self {
         BatchDriver {
             program,
-            workers: 0,
+            workers: AtomicUsize::new(0),
             free_hints: HashMap::new(),
+            hints_version: 0,
             idle: Mutex::new(Vec::new()),
             sessions_created: AtomicU64::new(0),
             sessions_reused: AtomicU64::new(0),
@@ -203,22 +217,39 @@ impl BatchDriver {
     /// Cap the batch fan-out at `workers` concurrent items (0 restores the
     /// pool's full width).  The cap bounds *span* count on the shared
     /// persistent pool; it does not spawn dedicated threads.
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.workers.store(workers, Ordering::Relaxed);
         self
     }
 
     /// In-place variant of [`BatchDriver::with_workers`], for drivers that
     /// are already serving (takes effect from the next batch).
-    pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers;
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// The configured fan-out cap (0 = the worker pool's full width).
+    pub fn worker_cap(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Effective fan-out width of a batch of `n_items`: the persistent
+    /// pool's width, bounded by the worker cap and the batch length.
+    pub fn fanout_width(&self, n_items: usize) -> usize {
+        let cap = self.worker_cap();
+        let width = rayon::current_num_threads().max(1);
+        let width = if cap > 0 { width.min(cap) } else { width };
+        width.min(n_items.max(1))
     }
 
     /// Attach per-state free hints (see [`Session::set_free_hints`]) applied
-    /// to every session this driver creates.  Sessions already in the pool
-    /// are unaffected, so set hints before the first batch.
+    /// to every session this driver checks out.  The hints are versioned:
+    /// sessions already parked in the idle pool are re-stamped with the new
+    /// hints at their next checkout, so a change reaches warm pools too
+    /// (it does not affect sessions currently mid-run).
     pub fn set_free_hints(&mut self, hints: &HashMap<usize, Vec<String>>) {
         self.free_hints = hints.clone();
+        self.hints_version += 1;
     }
 
     /// The shared program this driver serves.
@@ -233,7 +264,11 @@ impl BatchDriver {
     pub fn warm(&self, n: usize) {
         let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
         while idle.len() < n {
-            idle.push(self.new_session());
+            let session = self.new_session();
+            idle.push(PooledSession {
+                session,
+                hints_version: self.hints_version,
+            });
         }
     }
 
@@ -265,12 +300,18 @@ impl BatchDriver {
     fn checkout(&self) -> Session {
         let pooled = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop();
         match pooled {
-            Some(mut session) => {
+            Some(mut pooled) => {
                 self.sessions_reused.fetch_add(1, Ordering::Relaxed);
+                // A session parked before a `set_free_hints` call carries
+                // stale hints; re-stamp it so the change applies to warm
+                // pools, not only to sessions created afterwards.
+                if pooled.hints_version != self.hints_version {
+                    pooled.session.set_free_hints(&self.free_hints);
+                }
                 // Zero the previous tenant's report so an item that fails
                 // before running contributes nothing to the batch totals.
-                session.reset_report();
-                session
+                pooled.session.reset_report();
+                pooled.session
             }
             None => self.new_session(),
         }
@@ -283,7 +324,10 @@ impl BatchDriver {
         self.idle
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(session);
+            .push(PooledSession {
+                session,
+                hints_version: self.hints_version,
+            });
     }
 
     /// Run a batch of input bindings, fetching the named arrays of each item
@@ -339,7 +383,7 @@ impl BatchDriver {
         let total_tasklets = AtomicU64::new(0);
         let total_points = AtomicU64::new(0);
         let (workers, items): (usize, Vec<Result<T, BatchError<E>>>) = self.pool_scope(|| {
-            let workers = rayon::current_num_threads().max(1).min(n_items.max(1));
+            let workers = self.fanout_width(n_items);
             let items = (0..n_items)
                 .into_par_iter()
                 .map(|i| {
@@ -387,11 +431,12 @@ impl BatchDriver {
 
     /// Run `f` under this driver's worker cap (no-op when uncapped).
     fn pool_scope<R>(&self, f: impl FnOnce() -> R) -> R {
-        if self.workers == 0 {
+        let cap = self.worker_cap();
+        if cap == 0 {
             f()
         } else {
             rayon::ThreadPoolBuilder::new()
-                .num_threads(self.workers)
+                .num_threads(cap)
                 .build()
                 .expect("the rayon shim's pool builder is infallible")
                 .install(f)

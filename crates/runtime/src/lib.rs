@@ -23,6 +23,10 @@
 //! * [`batch::BatchDriver`] is the concurrent serving layer: one shared
 //!   program, a pool of warm sessions, and batch fan-out over the persistent
 //!   worker pool with per-item panic isolation.
+//! * [`serve::ServeDriver`] adds dynamic admission on top: requests are
+//!   submitted individually (with optional per-request deadlines and
+//!   cancellation), an admission queue coalesces them into batches, and
+//!   handles deliver results with p50/p95 latency accounting.
 //! * [`executor::Executor`] is the deprecated coupled compile-and-run shim
 //!   kept for migration; [`memory::MemoryTracker`] provides the allocation
 //!   tracking and peak-memory measurement used by the checkpointing
@@ -79,12 +83,15 @@ pub mod executor;
 pub mod memory;
 mod plan;
 mod program;
+pub mod serve;
 
 pub use batch::{BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport};
 pub use error::{RuntimeError, RuntimeResult};
 pub use executor::{ExecutionReport, Executor, MapPath};
 pub use memory::MemoryTracker;
 pub use program::{
-    clear_plan_cache, compile, plan_cache_len, plan_cache_stats, CompiledProgram, PlanCacheStats,
-    Session,
+    clear_plan_cache, compile, debug_fingerprint_sdfg, debug_inject_plan_cache_alias,
+    plan_cache_capacity, plan_cache_len, plan_cache_stats, set_plan_cache_capacity,
+    CompiledProgram, PlanCacheStats, Session, DEFAULT_PLAN_CACHE_CAPACITY,
 };
+pub use serve::{RequestHandle, ServeDriver, ServeError, ServeOptions, ServeResponse, ServeStats};

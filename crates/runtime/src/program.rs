@@ -46,13 +46,26 @@ use crate::plan::{compile_plan, ExecPlan};
 /// A *miss* is a [`compile`] call that actually lowered the SDFG; a *hit* is
 /// a call that reused an already lowered plan.  For a single cache entry the
 /// miss count is therefore the number of times that exact (SDFG, symbols)
-/// pair was lowered — `1` for as long as the entry lives.
+/// pair was lowered — `1` for as long as the entry lives.  Re-compiling a
+/// key after its entry was evicted is a genuine second lowering: the global
+/// miss counter increments again and the fresh entry starts over at
+/// `misses == 1`, so the counters stay correct across eviction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Number of [`compile`] calls served from the cache.
     pub hits: u64,
     /// Number of [`compile`] calls that lowered the SDFG.
     pub misses: u64,
+    /// Entries evicted under capacity pressure (least-recently-used first).
+    /// Tracked process-wide: per-entry snapshots report `0` here, since an
+    /// entry that was evicted no longer has stats to snapshot.
+    pub evictions: u64,
+    /// Fingerprint collisions detected via the structural echo: a cache key
+    /// matched but the stored plan belonged to a *different* SDFG, so the
+    /// lookup was treated as a miss and recompiled instead of silently
+    /// serving the wrong plan.  Tracked process-wide, `0` on per-entry
+    /// snapshots.
+    pub collisions: u64,
 }
 
 /// Shared counters of one cache entry.
@@ -67,6 +80,53 @@ impl EntryStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: 0,
+            collisions: 0,
+        }
+    }
+}
+
+/// Cheap structural summary stored next to every cache entry.  The FNV-1a
+/// fingerprint is 64 bits of a textual rendering, so two different SDFGs
+/// *can* collide; before trusting a key match, [`compile`] compares this
+/// echo and treats a mismatch as a miss (recompile) instead of serving the
+/// wrong plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StructuralEcho {
+    /// Number of data containers.
+    arrays: usize,
+    /// Number of free symbols.
+    symbols: usize,
+    /// Number of states.
+    states: usize,
+    /// FNV-1a digest over the sorted array names (with transient flags) and
+    /// the symbol names.
+    names_digest: u64,
+}
+
+impl StructuralEcho {
+    fn of(sdfg: &Sdfg) -> Self {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                digest ^= u64::from(*byte);
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        // `sdfg.arrays` is a BTreeMap, so iteration order is already sorted.
+        for (name, desc) in &sdfg.arrays {
+            mix(name.as_bytes());
+            mix(&[desc.transient as u8, b';']);
+        }
+        for sym in &sdfg.symbols {
+            mix(sym.as_bytes());
+            mix(b",");
+        }
+        StructuralEcho {
+            arrays: sdfg.arrays.len(),
+            symbols: sdfg.symbols.len(),
+            states: sdfg.states.len(),
+            names_digest: digest,
         }
     }
 }
@@ -79,15 +139,61 @@ struct CacheKey {
     symbols: Vec<(String, i64)>,
 }
 
-/// Maximum number of cached plans.  When the cache is full the whole map is
-/// dropped (outstanding [`CompiledProgram`]s keep their plans alive through
-/// their own `Arc`s); a simple bound is enough because real workloads hold a
-/// handful of programs, not thousands.
-const PLAN_CACHE_CAPACITY: usize = 64;
+/// Default maximum number of cached plans.  A server sweeping symbol sizes
+/// creates one entry per (fingerprint, symbol values) pair, so the cache is
+/// a true LRU: when full, only the least-recently-used entry is evicted
+/// (outstanding [`CompiledProgram`]s keep their plans alive through their
+/// own `Arc`s).  Tune with [`set_plan_cache_capacity`].
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 
-#[derive(Default)]
+/// One cached plan plus the bookkeeping the LRU and the collision check
+/// need.
+struct CacheEntry {
+    plan: Arc<ExecPlan>,
+    stats: Arc<EntryStats>,
+    echo: StructuralEcho,
+    /// Logical timestamp of the most recent hit or insertion.
+    last_used: u64,
+}
+
 struct PlanCache {
-    map: HashMap<CacheKey, (Arc<ExecPlan>, Arc<EntryStats>)>,
+    map: HashMap<CacheKey, CacheEntry>,
+    capacity: usize,
+    /// Monotonic logical clock backing `last_used`.
+    tick: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            map: HashMap::new(),
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: 0,
+        }
+    }
+}
+
+impl PlanCache {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-used entries until at most `target` remain.
+    fn evict_down_to(&mut self, target: usize) {
+        while self.map.len() > target {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            GLOBAL_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 fn global_cache() -> &'static Mutex<PlanCache> {
@@ -97,12 +203,17 @@ fn global_cache() -> &'static Mutex<PlanCache> {
 
 static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_COLLISIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Process-wide plan-cache totals across all programs.
+/// Process-wide plan-cache totals across all programs, including eviction
+/// and fingerprint-collision counts.
 pub fn plan_cache_stats() -> PlanCacheStats {
     PlanCacheStats {
         hits: GLOBAL_HITS.load(Ordering::Relaxed),
         misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        evictions: GLOBAL_EVICTIONS.load(Ordering::Relaxed),
+        collisions: GLOBAL_COLLISIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -115,8 +226,31 @@ pub fn plan_cache_len() -> usize {
         .len()
 }
 
+/// Current plan-cache capacity (maximum number of retained plans).
+pub fn plan_cache_capacity() -> usize {
+    global_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .capacity
+}
+
+/// Bound the process-wide plan cache at `capacity` plans (clamped to at
+/// least 1).  If the cache currently holds more, least-recently-used
+/// entries are evicted immediately; outstanding [`CompiledProgram`]s keep
+/// their plans alive through their own `Arc`s.  Long-running servers that
+/// sweep symbol sizes should size this to their working set — the default
+/// is [`DEFAULT_PLAN_CACHE_CAPACITY`].
+pub fn set_plan_cache_capacity(capacity: usize) {
+    let mut cache = global_cache().lock().unwrap_or_else(|e| e.into_inner());
+    cache.capacity = capacity.max(1);
+    let target = cache.capacity;
+    cache.evict_down_to(target);
+}
+
 /// Drop every cached plan (outstanding [`CompiledProgram`]s stay valid).
 /// Intended for tests and long-running processes that want to bound memory.
+/// An explicit clear is not counted as eviction pressure — the `evictions`
+/// counter tracks only capacity-driven LRU evictions.
 pub fn clear_plan_cache() {
     global_cache()
         .lock()
@@ -162,6 +296,7 @@ pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Com
         }
     }
     let fingerprint = fingerprint_sdfg(sdfg);
+    let echo = StructuralEcho::of(sdfg);
     let mut key_syms: Vec<(String, i64)> = symbols.iter().map(|(k, &v)| (k.clone(), v)).collect();
     key_syms.sort();
     let key = CacheKey {
@@ -170,16 +305,25 @@ pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Com
     };
 
     let mut cache = global_cache().lock().unwrap_or_else(|e| e.into_inner());
-    if let Some((plan, stats)) = cache.map.get(&key) {
-        stats.hits.fetch_add(1, Ordering::Relaxed);
-        GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
-        return Ok(CompiledProgram {
-            plan: Arc::clone(plan),
-            symbols: Arc::new(symbols.clone()),
-            stats: Arc::clone(stats),
-            fingerprint,
-            cache_hit: true,
-        });
+    let tick = cache.touch();
+    if let Some(entry) = cache.map.get_mut(&key) {
+        if entry.echo == echo {
+            entry.last_used = tick;
+            entry.stats.hits.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompiledProgram {
+                plan: Arc::clone(&entry.plan),
+                symbols: Arc::new(symbols.clone()),
+                stats: Arc::clone(&entry.stats),
+                fingerprint,
+                cache_hit: true,
+            });
+        }
+        // Fingerprint collision: the key matches but the cached plan was
+        // lowered from a structurally different SDFG.  Trusting the hash
+        // would silently serve the wrong plan — recompile instead (the
+        // fresh plan replaces the colliding entry below).
+        GLOBAL_COLLISIONS.fetch_add(1, Ordering::Relaxed);
     }
     // Lower while holding the lock so concurrent compiles of the same key
     // produce exactly one plan (lowering is fast relative to execution).
@@ -189,12 +333,17 @@ pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Com
         misses: AtomicU64::new(1),
     });
     GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
-    if cache.map.len() >= PLAN_CACHE_CAPACITY {
-        cache.map.clear();
-    }
-    cache
-        .map
-        .insert(key, (Arc::clone(&plan), Arc::clone(&stats)));
+    cache.map.insert(
+        key,
+        CacheEntry {
+            plan: Arc::clone(&plan),
+            stats: Arc::clone(&stats),
+            echo,
+            last_used: tick,
+        },
+    );
+    let target = cache.capacity;
+    cache.evict_down_to(target);
     Ok(CompiledProgram {
         plan,
         symbols: Arc::new(symbols.clone()),
@@ -202,6 +351,52 @@ pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<Com
         fingerprint,
         cache_hit: false,
     })
+}
+
+/// Test-only hook: compile `donor` and insert its plan under a *forged*
+/// fingerprint, as if `fingerprint_sdfg` had collided.  The next `compile`
+/// of an SDFG whose real fingerprint equals `fingerprint` (and whose symbol
+/// values match) will find this entry, detect the structural mismatch via
+/// the echo, and recompile instead of serving the donor's plan.
+///
+/// Exists so the collision-handling path can be exercised without having to
+/// construct a real 64-bit FNV-1a collision; not part of the public API.
+#[doc(hidden)]
+pub fn debug_inject_plan_cache_alias(
+    donor: &Sdfg,
+    symbols: &HashMap<String, i64>,
+    fingerprint: u64,
+) {
+    let plan = Arc::new(compile_plan(donor, symbols));
+    let echo = StructuralEcho::of(donor);
+    let mut key_syms: Vec<(String, i64)> = symbols.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    key_syms.sort();
+    let key = CacheKey {
+        fingerprint,
+        symbols: key_syms,
+    };
+    let mut cache = global_cache().lock().unwrap_or_else(|e| e.into_inner());
+    let tick = cache.touch();
+    cache.map.insert(
+        key,
+        CacheEntry {
+            plan,
+            stats: Arc::new(EntryStats {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(1),
+            }),
+            echo,
+            last_used: tick,
+        },
+    );
+}
+
+/// The structural fingerprint [`compile`] keys its cache on, exposed for
+/// tests that need to forge collisions (see
+/// [`debug_inject_plan_cache_alias`]).
+#[doc(hidden)]
+pub fn debug_fingerprint_sdfg(sdfg: &Sdfg) -> u64 {
+    fingerprint_sdfg(sdfg)
 }
 
 /// An SDFG lowered once into an execution plan: the immutable, shareable

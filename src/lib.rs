@@ -20,14 +20,15 @@ pub use npbench;
 pub mod prelude {
     pub use dace_ad::{
         AdOptions, BackwardPlan, BatchGradientResult, CheckpointStrategy, EngineError,
-        GradientEngine,
+        GradientEngine, GradientHandle, GradientServer, ServedGradient,
     };
     pub use dace_frontend::{ArrayExpr, ProgramBuilder, ScalarRef};
     #[allow(deprecated)]
     pub use dace_runtime::Executor;
     pub use dace_runtime::{
         compile, BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport,
-        CompiledProgram, ExecutionReport, PlanCacheStats, Session,
+        CompiledProgram, ExecutionReport, PlanCacheStats, RequestHandle, ServeDriver, ServeError,
+        ServeOptions, ServeResponse, ServeStats, Session,
     };
     pub use dace_sdfg::{DType, Sdfg, SymExpr};
     pub use dace_tensor::{allclose, allclose_default, Tensor};

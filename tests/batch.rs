@@ -267,6 +267,72 @@ fn item_errors_are_isolated() {
     );
 }
 
+/// Free-hint changes reach sessions already parked in the idle pool: the
+/// pool is warmed *without* hints, hints are set afterwards, and the very
+/// next batch must honour them on the reused sessions (regression test —
+/// `set_free_hints` used to affect only sessions created after the call,
+/// so warm pools silently kept stale hints).
+#[test]
+fn warm_pool_sessions_pick_up_free_hint_changes() {
+    // X -> T (transient, state 0) -> Y (state 1); hint frees T after
+    // state 1, which is visible as a drop in `final_bytes`.
+    let mut b = ProgramBuilder::new("hint_refresh");
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_transient("T", vec![n.clone()]).unwrap();
+    b.add_input("Y", vec![n.clone()]).unwrap();
+    b.assign("T", ArrayExpr::a("X").mul(ArrayExpr::s(2.0)));
+    b.assign("Y", ArrayExpr::a("T").mul(ArrayExpr::s(2.0)));
+    let sdfg = b.build().unwrap();
+    let syms = symbols(&[("N", 16)]);
+    let program = compile(&sdfg, &syms).unwrap();
+    let inputs = |i: usize| {
+        HashMap::from([(
+            "X".to_string(),
+            Tensor::from_vec(vec![i as f64 + 1.0; 16], &[16]).unwrap(),
+        )])
+    };
+    let items: Vec<_> = (0..4).map(inputs).collect();
+
+    let mut driver = BatchDriver::new(program).with_workers(2);
+    // Warm the pool with hint-less sessions: T survives every run.
+    let cold = driver.run_batch(&items, &["Y"]);
+    assert_eq!(cold.report.succeeded, 4);
+    let created = driver.sessions_created();
+    let unhinted_final = cold.items[0].as_ref().unwrap().report.final_bytes;
+
+    // Change the hints under a warm pool…
+    let hints = HashMap::from([(1usize, vec!["T".to_string()])]);
+    driver.set_free_hints(&hints);
+
+    // …and the next batch must honour them on the *reused* sessions.
+    let warm = driver.run_batch(&items, &["Y"]);
+    assert_eq!(warm.report.succeeded, 4);
+    assert_eq!(
+        driver.sessions_created(),
+        created,
+        "the batch must reuse the warm pool, not hide the bug behind fresh sessions"
+    );
+    for (i, item) in warm.items.iter().enumerate() {
+        let item = item.as_ref().unwrap();
+        assert!(
+            item.report.final_bytes < unhinted_final,
+            "item {i}: warm session kept stale hints (final_bytes {} !< {unhinted_final})",
+            item.report.final_bytes
+        );
+        assert_eq!(item.outputs["Y"].data()[0], (i as f64 + 1.0) * 4.0);
+    }
+
+    // Clearing the hints also reaches the warm pool.
+    driver.set_free_hints(&HashMap::new());
+    let cleared = driver.run_batch(&items, &["Y"]);
+    assert_eq!(
+        cleared.items[0].as_ref().unwrap().report.final_bytes,
+        unhinted_final,
+        "clearing hints must restore the unhinted footprint on pooled sessions"
+    );
+}
+
 /// An empty batch is a cheap no-op with a well-formed report.
 #[test]
 fn empty_batch_is_a_no_op() {

@@ -1,0 +1,439 @@
+//! Dynamic-admission serving: coalescing, determinism, deadlines,
+//! cancellation, concurrent submission and drop-drain semantics of
+//! `ServeDriver` / `GradientEngine::serve`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dace_ad_repro::prelude::*;
+use dace_tensor::Tensor;
+use npbench::Preset;
+
+fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// `Y = sin(X) * X + 2`, N = 32: element-wise, distinct per input.
+fn elementwise_program() -> (dace_ad_repro::sdfg::Sdfg, HashMap<String, i64>) {
+    let mut b = ProgramBuilder::new("serve_dyn");
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_input("Y", vec![n.clone()]).unwrap();
+    b.assign(
+        "Y",
+        ArrayExpr::a("X")
+            .sin()
+            .mul(ArrayExpr::a("X"))
+            .add(ArrayExpr::s(2.0)),
+    );
+    (b.build().unwrap(), symbols(&[("N", 32)]))
+}
+
+fn item(i: usize) -> HashMap<String, Tensor> {
+    let data: Vec<f64> = (0..32).map(|j| (i * 31 + j) as f64 * 0.125 - 1.5).collect();
+    HashMap::from([("X".to_string(), Tensor::from_vec(data, &[32]).unwrap())])
+}
+
+/// Serial single-session reference outputs for `item(0..n)`.
+fn serial_reference(program: &CompiledProgram, n: usize) -> Vec<Tensor> {
+    let mut session = program.session();
+    (0..n)
+        .map(|i| {
+            session.clear_bindings();
+            for (k, v) in item(i) {
+                session.set_input(&k, v).unwrap();
+            }
+            session.run().unwrap();
+            session.array("Y").unwrap().clone()
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Individually submitted requests are coalesced into one dispatch (the
+/// admission queue fills to `max_batch` well inside the linger window) and
+/// every result is bit-identical to a serial session loop.
+#[test]
+fn submitted_requests_coalesce_and_match_serial() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let reference = serial_reference(&program, 6);
+
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 6,
+            max_wait: Duration::from_millis(500),
+            workers: 0,
+        },
+    );
+    let handles: Vec<_> = (0..6).map(|i| server.submit(item(i), &["Y"])).collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let response = handle.wait().unwrap();
+        assert_eq!(
+            bits(&response.outputs["Y"]),
+            bits(&reference[i]),
+            "served item {i} diverged from the serial reference"
+        );
+        assert_eq!(
+            response.batched_with, 6,
+            "all six requests must ride one coalesced dispatch"
+        );
+        assert!(response.latency > Duration::ZERO);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.admitted, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.batches, 1, "one dispatch served the whole burst");
+    assert_eq!(stats.largest_batch, 6);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.p95_latency >= stats.p50_latency);
+    assert!(stats.p50_latency > Duration::ZERO);
+}
+
+/// Deadline-expired requests are rejected with `DeadlineExceeded` without
+/// ever occupying a worker — asserted both for a zero budget (rejected at
+/// admission) and for a queued request whose deadline passes mid-linger
+/// (rejected at batch formation).  No session is ever created for them.
+#[test]
+fn deadline_expired_requests_never_execute() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 8,
+            max_wait: Duration::from_millis(150),
+            workers: 0,
+        },
+    );
+
+    // Zero budget: expired at admission, never enqueued.
+    let handle = server.submit_with_deadline(item(0), &["Y"], Duration::ZERO);
+    match handle.wait() {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // Queued expiry: the deadline (20ms) passes while the lone request
+    // lingers (150ms) waiting for peers that never come.  The rejection
+    // must arrive when the deadline fires, not at the end of the linger.
+    let submitted = std::time::Instant::now();
+    let handle = server.submit_with_deadline(item(1), &["Y"], Duration::from_millis(20));
+    match handle.wait() {
+        Err(ServeError::DeadlineExceeded { missed_by }) => {
+            assert!(missed_by > Duration::ZERO);
+            assert!(
+                submitted.elapsed() < Duration::from_millis(120),
+                "rejection must be delivered at the deadline, not after the \
+                 full {:?} linger (took {:?})",
+                Duration::from_millis(150),
+                submitted.elapsed()
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.expired, 2);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(
+        stats.batches, 0,
+        "no dispatch may fire for expired requests"
+    );
+    assert_eq!(
+        server.batch_driver().sessions_created(),
+        0,
+        "an expired request must never occupy a worker session"
+    );
+}
+
+/// Cancellation succeeds on queued requests (completing them with
+/// `Cancelled`), is idempotent-false afterwards, and does not disturb other
+/// requests in the same linger window.
+#[test]
+fn cancel_works_on_queued_requests() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let reference = serial_reference(&program, 2);
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 8,
+            max_wait: Duration::from_millis(250),
+            workers: 0,
+        },
+    );
+
+    let doomed = server.submit(item(0), &["Y"]);
+    let survivor = server.submit(item(1), &["Y"]);
+    assert!(doomed.cancel(), "a queued request must be cancellable");
+    assert!(!doomed.cancel(), "a second cancel is a no-op");
+    assert!(doomed.is_done());
+    match doomed.try_wait() {
+        Some(Err(ServeError::Cancelled)) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    match doomed.wait() {
+        Err(ServeError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    let response = survivor.wait().unwrap();
+    assert_eq!(bits(&response.outputs["Y"]), bits(&reference[1]));
+    assert_eq!(
+        response.batched_with, 1,
+        "the cancelled peer must not count into the dispatch"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// `try_wait` polls without consuming: repeated polls and the final `wait`
+/// all observe the same completed result.
+#[test]
+fn try_wait_polls_then_wait_takes() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let reference = serial_reference(&program, 1);
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            workers: 0,
+        },
+    );
+    let handle = server.submit(item(0), &["Y"]);
+    let polled = loop {
+        if let Some(result) = handle.try_wait() {
+            break result;
+        }
+        std::thread::yield_now();
+    };
+    let polled = polled.unwrap();
+    let polled_again = handle.try_wait().expect("still done").unwrap();
+    let taken = handle.wait().unwrap();
+    for response in [&polled, &polled_again, &taken] {
+        assert_eq!(bits(&response.outputs["Y"]), bits(&reference[0]));
+    }
+}
+
+/// N threads submitting concurrently with mixed deadlines and
+/// cancellations: every handle resolves exactly once (no lost, no
+/// double-completed), completed results are bit-identical to serial runs,
+/// and the session pool never exceeds the dispatch bound.
+#[test]
+fn concurrent_mixed_submissions_are_exact_and_bounded() {
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 8;
+    const MAX_BATCH: usize = 4;
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let reference = serial_reference(&program, THREADS * PER_THREAD);
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: MAX_BATCH,
+            max_wait: Duration::from_millis(1),
+            workers: 0,
+        },
+    );
+
+    enum Outcome {
+        Completed(usize, Vec<u64>),
+        Cancelled,
+    }
+    let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let server = &server;
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let idx = t * PER_THREAD + i;
+                    // Every third request carries a generous deadline (it
+                    // must still complete); every fourth race-cancels.
+                    let handle = if idx.is_multiple_of(3) {
+                        server.submit_with_deadline(item(idx), &["Y"], Duration::from_secs(60))
+                    } else {
+                        server.submit(item(idx), &["Y"])
+                    };
+                    let cancelled = idx.is_multiple_of(4) && handle.cancel();
+                    let outcome = match handle.wait() {
+                        Ok(response) => {
+                            assert!(!cancelled, "a cancelled handle must not complete");
+                            Outcome::Completed(idx, bits(&response.outputs["Y"]))
+                        }
+                        Err(ServeError::Cancelled) => {
+                            assert!(cancelled, "only race-cancelled requests may cancel");
+                            Outcome::Cancelled
+                        }
+                        Err(e) => panic!("request {idx} failed unexpectedly: {e}"),
+                    };
+                    outcomes.lock().unwrap().push(outcome);
+                }
+            });
+        }
+    });
+
+    let outcomes = outcomes.into_inner().unwrap();
+    assert_eq!(
+        outcomes.len(),
+        THREADS * PER_THREAD,
+        "every handle must resolve exactly once"
+    );
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for outcome in &outcomes {
+        match outcome {
+            Outcome::Completed(idx, got) => {
+                completed += 1;
+                assert_eq!(
+                    got,
+                    &bits(&reference[*idx]),
+                    "served item {idx} diverged from the serial reference"
+                );
+            }
+            Outcome::Cancelled => cancelled += 1,
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.admitted, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.cancelled, cancelled);
+    assert_eq!(stats.completed + stats.cancelled, stats.admitted);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.largest_batch <= MAX_BATCH);
+    // The dispatcher serves one batch at a time, so the pool can never
+    // outgrow the dispatch bound — however many threads submit.
+    assert!(
+        server.batch_driver().sessions_created() <= MAX_BATCH as u64,
+        "session pool exceeded the dispatch bound: created {}",
+        server.batch_driver().sessions_created()
+    );
+    assert!(stats.pooled_sessions <= MAX_BATCH);
+}
+
+/// `ServeDriver::run_batch` (submit-all-then-wait-all) reproduces the
+/// static `BatchDriver::run_batch` results bit for bit — the layering
+/// proof at the driver level.
+#[test]
+fn serve_run_batch_matches_static_batch_driver() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let items: Vec<_> = (0..10).map(item).collect();
+
+    let static_driver = BatchDriver::new(program.clone());
+    let static_out = static_driver.run_batch(&items, &["Y"]);
+
+    let server = ServeDriver::new(program);
+    let served = server.run_batch(&items, &["Y"]);
+
+    assert_eq!(served.len(), static_out.items.len());
+    for (i, (dynamic, fixed)) in served.iter().zip(&static_out.items).enumerate() {
+        let dynamic = dynamic.as_ref().unwrap();
+        let fixed = fixed.as_ref().unwrap();
+        assert_eq!(
+            bits(&dynamic.outputs["Y"]),
+            bits(&fixed.outputs["Y"]),
+            "item {i} diverged between static and dynamic batching"
+        );
+    }
+}
+
+/// Dropping the driver drains the queue: outstanding handles all resolve
+/// (drop never strands a request), and submissions after shutdown are
+/// rejected with `ShuttingDown`.
+#[test]
+fn drop_drains_outstanding_requests() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let reference = serial_reference(&program, 4);
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 8,
+            max_wait: Duration::from_secs(5), // far longer than the test
+            workers: 0,
+        },
+    );
+    let handles: Vec<_> = (0..4).map(|i| server.submit(item(i), &["Y"])).collect();
+    server.shutdown();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let response = handle.wait().unwrap();
+        assert_eq!(bits(&response.outputs["Y"]), bits(&reference[i]));
+    }
+    let late = server.submit(item(0), &["Y"]);
+    match late.wait() {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+/// Engine-level serving: handle-based gradient requests are bit-identical
+/// to `GradientEngine::run`, input validation fires at submit time, and a
+/// zero budget surfaces as a typed serve error.
+#[test]
+fn engine_serve_matches_blocking_run() {
+    let kernel = npbench::kernel_by_name("atax").unwrap();
+    let sizes = kernel.sizes(Preset::Test);
+    let inputs_list = npbench::runner::batch_inputs(kernel.as_ref(), &sizes, 5);
+    let sdfg = kernel.build_dace(&sizes);
+    let syms = kernel.symbols(&sizes);
+    let wrt = kernel.wrt();
+    let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &syms, &AdOptions::default()).unwrap();
+
+    let blocking: Vec<_> = inputs_list.iter().map(|i| engine.run(i).unwrap()).collect();
+    let server = engine.serve();
+    let handles: Vec<_> = inputs_list
+        .iter()
+        .map(|i| server.submit(i).unwrap())
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let served = handle.wait().unwrap();
+        assert_eq!(
+            served.result.output_value.to_bits(),
+            blocking[i].output_value.to_bits()
+        );
+        assert_eq!(served.result.gradients.len(), blocking[i].gradients.len());
+        for (name, expected) in &blocking[i].gradients {
+            assert_eq!(
+                bits(&served.result.gradients[name]),
+                bits(expected),
+                "gradient of {name} diverged for served item {i}"
+            );
+        }
+        assert!(served.batched_with >= 1);
+    }
+    // The serial runs and every served request share one gradient lowering.
+    assert_eq!(engine.gradient_program().cache_stats().misses, 1);
+
+    // Validation fires synchronously at submit, exactly like `run`.
+    let mut typo = inputs_list[0].clone();
+    typo.insert("NOPE".to_string(), Tensor::zeros(&[2]));
+    match server.submit(&typo) {
+        Err(EngineError::UnknownInput(name)) => assert_eq!(name, "NOPE"),
+        other => panic!("expected UnknownInput, got {other:?}"),
+    }
+
+    // A zero latency budget is a typed serve rejection.
+    let handle = server
+        .submit_with_deadline(&inputs_list[0], Duration::ZERO)
+        .unwrap();
+    match handle.wait() {
+        Err(EngineError::Serve(ServeError::DeadlineExceeded { .. })) => {}
+        other => panic!("expected Serve(DeadlineExceeded), got {other:?}"),
+    }
+
+    // Serving statistics are visible through the engine server.
+    let stats = server.stats();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.expired, 1);
+}
