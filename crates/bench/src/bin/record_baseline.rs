@@ -1,7 +1,7 @@
 //! Record or check perf baselines for the figure kernels.
 //!
 //! Record mode runs every NPBench kernel's DaCe-AD gradient at the chosen
-//! preset, plus three synthetic rows — `fd_validation` (one
+//! preset, plus synthetic rows — `fd_validation` (one
 //! finite-difference validation sweep at a fixed small 12×10 atax size,
 //! guarding the compile-once property: one forward lowering per sweep
 //! instead of two per input element), `batch_throughput` (batched gradient
@@ -11,7 +11,18 @@
 //! dynamic-admission serving of the same kernels through `ServeDriver`,
 //! guarding the per-request cost of the serve path; the row also records
 //! p50/p95 latency and the observed coalescing) — and writes one JSON
-//! object per row to the output file.
+//! object per row to the output file.  A fourth synthetic row,
+//! `specialized_kernels`, times the forward loop kernels through the plan
+//! specialization tier (forced on) against the VM interpreter (forced off)
+//! over identical compiled plans, verifying bit-identical results and that
+//! specialization actually fired before recording; its `dace_ms` is the
+//! specialized-path total, with the VM total and the geometric-mean speedup
+//! as extra keys.
+//!
+//! Every figure is validated before rendering: a non-finite or non-positive
+//! `dace_ms` (a zero-elapsed clock, an `inf` ratio) is a hard error, so a
+//! degenerate measurement can never be written into the baseline file where
+//! compare mode would silently ratio against it.
 //!
 //! Compare mode re-measures and exits non-zero when any row regressed by
 //! more than `--max-regression` (default 0.25 = 25%) against the stored
@@ -25,9 +36,12 @@
 //! `pre_pr_ms` history and the throughput fields of `batch_throughput` are
 //! preserved by ignoring them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use dace_runtime::{compile, CompiledProgram, SpecMode};
+use dace_tensor::Tensor;
 use npbench::runner::{
     percentile_ms, serve_options, time_batch, time_dace, time_fd_validation, time_serve,
 };
@@ -48,6 +62,16 @@ const SERVE_REQUESTS: usize = 16;
 /// row, so the two serving layers are compared on identical work).
 const SERVE_KERNELS: [&str; 2] = ["atax", "jacobi2d"];
 
+/// Forward loop kernels whose lowered plans carry specializable loop nests —
+/// the `specialized_kernels` row times exactly these, VM vs specialized.
+const SPEC_KERNELS: [&str; 6] = ["seidel2d", "jacobi2d", "syrk", "syr2k", "trmm", "conv2d"];
+
+/// Consecutive runs per timed sample of the `specialized_kernels` row.  A
+/// single specialized forward run is sub-millisecond at the bench preset, so
+/// one-run samples are dominated by scheduler noise; timing a block and
+/// dividing keeps the row stable enough for the 25% regression gate.
+const SPEC_RUNS_PER_SAMPLE: usize = 10;
+
 const USAGE: &str = "\
 Usage: record_baseline [OPTIONS]
 
@@ -59,7 +83,11 @@ milliseconds per item, and the row also records serial/batched items-per-sec
 and the fan-out width) and the `serve_latency` row (open-loop
 dynamic-admission serving of the same kernels via ServeDriver; its `dace_ms`
 is wall-clock per request, with p50/p95 latency and the largest coalesced
-batch as extra keys), then writes one JSON object per row.
+batch as extra keys) and the `specialized_kernels` row (forward loop kernels
+through the plan specialization tier vs the VM on identical compiled plans,
+cross-checked bit for bit; its `dace_ms` is the specialized-path total, with
+the VM total and geomean speedup as extra keys), then writes one JSON object
+per row.  Non-finite or non-positive figures abort recording.
 
 Compare mode re-measures and exits non-zero when any row's `dace_ms`
 regressed by more than --max-regression (default 0.25 = 25%).
@@ -168,6 +196,112 @@ struct ServeRow {
     largest_batch: usize,
 }
 
+/// The `specialized_kernels` row: the forward loop kernels run through the
+/// plan specialization tier vs the VM interpreter on identical compiled
+/// plans — the interpreter-gap figure of the specialization PR.
+struct SpecRow {
+    /// Specialized-path milliseconds summed over [`SPEC_KERNELS`] — the
+    /// regression-guarded figure.
+    dace_ms: f64,
+    /// VM-interpreter milliseconds over the identical work.
+    vm_ms: f64,
+    /// Geometric mean of the per-kernel `vm / specialized` speedups.
+    speedup_geomean: f64,
+    /// Kernels aggregated into the row.
+    kernels: usize,
+}
+
+/// Post-warm-up bit pattern of every array, sorted by name.
+type ArrayBits = Vec<(String, Vec<u64>)>;
+
+/// Best-of-`reps` forward run time under `mode`, plus the post-warm-up bit
+/// pattern of every array (sorted by name) and the warm run's specialized
+/// dispatch count.
+fn time_forward(
+    program: &CompiledProgram,
+    inputs: &HashMap<String, Tensor>,
+    mode: SpecMode,
+    reps: usize,
+) -> Result<(Duration, ArrayBits, u64), String> {
+    let mut session = program.session();
+    session.force_specialization(mode);
+    for (name, tensor) in inputs {
+        session
+            .set_input(name, tensor.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    let report = session.run().map_err(|e| e.to_string())?;
+    let mut names: Vec<&String> = inputs.keys().collect();
+    names.sort();
+    let mut state = Vec::new();
+    for name in names.into_iter().map(String::as_str).chain(["OUT"]) {
+        let tensor = session
+            .array(name)
+            .ok_or_else(|| format!("array `{name}` missing after run"))?;
+        state.push((
+            name.to_string(),
+            tensor.data().iter().map(|v| v.to_bits()).collect(),
+        ));
+    }
+    // Timed repetitions continue from the post-warm-up state: the loop trip
+    // counts are data-independent, so the workload is identical every rep.
+    // Each sample times a block of runs (see [`SPEC_RUNS_PER_SAMPLE`]) and
+    // reports the per-run mean of the best block.
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for _ in 0..SPEC_RUNS_PER_SAMPLE {
+            session.run().map_err(|e| e.to_string())?;
+        }
+        best = best.min(start.elapsed() / SPEC_RUNS_PER_SAMPLE as u32);
+    }
+    Ok((best, state, report.specialized_dispatches))
+}
+
+fn measure_spec(preset: Preset, reps: usize) -> Result<SpecRow, String> {
+    let mut spec_secs = 0.0f64;
+    let mut vm_secs = 0.0f64;
+    let mut log_speedups = 0.0f64;
+    for name in SPEC_KERNELS {
+        let kernel = kernel_by_name(name).expect("spec kernel is registered");
+        let sizes = kernel.sizes(preset);
+        let sdfg = kernel.build_dace(&sizes);
+        let symbols = kernel.symbols(&sizes);
+        let program = compile(&sdfg, &symbols).map_err(|e| format!("{name}: {e}"))?;
+        let inputs = kernel.inputs(&sizes);
+        let (vm, vm_state, vm_dispatches) =
+            time_forward(&program, &inputs, SpecMode::ForceOff, reps)
+                .map_err(|e| format!("{name}: {e}"))?;
+        let (spec, spec_state, spec_dispatches) =
+            time_forward(&program, &inputs, SpecMode::ForceOn, reps)
+                .map_err(|e| format!("{name}: {e}"))?;
+        // The row is only honest if the two paths actually diverged in
+        // dispatch and converged in result: record nothing otherwise.
+        if vm_dispatches != 0 {
+            return Err(format!("{name}: VM path reported specialized dispatches"));
+        }
+        if spec_dispatches == 0 {
+            return Err(format!(
+                "{name}: specialization never fired — the row would time the VM twice"
+            ));
+        }
+        if vm_state != spec_state {
+            return Err(format!(
+                "{name}: specialized results diverge bitwise from the VM"
+            ));
+        }
+        vm_secs += vm.as_secs_f64();
+        spec_secs += spec.as_secs_f64();
+        log_speedups += (vm.as_secs_f64() / spec.as_secs_f64()).ln();
+    }
+    Ok(SpecRow {
+        dace_ms: spec_secs * 1e3,
+        vm_ms: vm_secs * 1e3,
+        speedup_geomean: (log_speedups / SPEC_KERNELS.len() as f64).exp(),
+        kernels: SPEC_KERNELS.len(),
+    })
+}
+
 fn measure_serve(preset: Preset, reps: usize) -> Result<ServeRow, String> {
     let options = serve_options(8, 2.0, 0);
     let mut requests = 0usize;
@@ -241,7 +375,7 @@ fn measure_batch(preset: Preset, reps: usize) -> Result<BatchRow, String> {
 fn measure(
     preset: Preset,
     reps: usize,
-) -> Result<(BTreeMap<String, f64>, BatchRow, ServeRow), String> {
+) -> Result<(BTreeMap<String, f64>, BatchRow, ServeRow, SpecRow), String> {
     let mut out = BTreeMap::new();
     let mut failures = Vec::new();
     for kernel in all_kernels() {
@@ -301,13 +435,46 @@ fn measure(
             None
         }
     };
-    match (batch, serve) {
-        (Some(batch), Some(serve)) if failures.is_empty() => Ok((out, batch, serve)),
+    // Plan-specialization tier vs VM on the forward loop kernels.  Guards
+    // the interpreter-gap closure: a recognition regression shows up either
+    // as "specialization never fired" (hard error) or a dace_ms regression.
+    let spec = match measure_spec(preset, reps) {
+        Ok(s) => {
+            out.insert("specialized_kernels".to_string(), s.dace_ms);
+            Some(s)
+        }
+        Err(e) => {
+            eprintln!("specialized_kernels: measurement failed: {e}");
+            failures.push("specialized_kernels".to_string());
+            None
+        }
+    };
+    if let Err(e) = validate_rows(&out) {
+        return Err(format!("degenerate measurement: {e}"));
+    }
+    match (batch, serve, spec) {
+        (Some(batch), Some(serve), Some(spec)) if failures.is_empty() => {
+            Ok((out, batch, serve, spec))
+        }
         _ => Err(format!(
             "kernel(s) failed to measure: {}",
             failures.join(", ")
         )),
     }
+}
+
+/// Refuse to record a degenerate figure.  Every `dace_ms` must be finite
+/// and strictly positive: a zero (unresolvable clock), `inf` (zero-elapsed
+/// ratio) or `NaN` written into the baseline would make compare mode's
+/// `now / baseline` ratio meaningless — a NaN comparison is `false`, so the
+/// regression gate would silently pass forever.
+fn validate_rows(rows: &BTreeMap<String, f64>) -> Result<(), String> {
+    for (name, ms) in rows {
+        if !ms.is_finite() || *ms <= 0.0 {
+            return Err(format!("row `{name}` measured a non-usable value ({ms})"));
+        }
+    }
+    Ok(())
 }
 
 fn preset_name(p: Preset) -> &'static str {
@@ -323,6 +490,7 @@ fn render(
     rows: &BTreeMap<String, f64>,
     batch: &BatchRow,
     serve: &ServeRow,
+    spec: &SpecRow,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -345,6 +513,15 @@ fn render(
                 batch.serial_items_per_sec,
                 batch.batched_items_per_sec,
                 batch.speedup,
+            ));
+        } else if name == "specialized_kernels" {
+            // The specialization row carries the VM comparison as extra keys
+            // (ignored by the compare-mode scanner).
+            s.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"dace_ms\": {ms:.3}, \
+                 \"vm_ms\": {:.3}, \"spec_speedup_geomean\": {:.2}, \
+                 \"spec_kernels\": {} }}{comma}\n",
+                spec.vm_ms, spec.speedup_geomean, spec.kernels,
             ));
         } else if name == "serve_latency" {
             // The serving row carries latency percentiles and the observed
@@ -425,7 +602,7 @@ fn main() -> ExitCode {
             eprintln!("record_baseline: no kernels found in `{path}`");
             return ExitCode::from(2);
         }
-        let (now, _, _) = match measure(args.preset, args.reps) {
+        let (now, _, _, _) = match measure(args.preset, args.reps) {
             Ok(n) => n,
             Err(e) => {
                 eprintln!("record_baseline: {e}");
@@ -473,14 +650,14 @@ fn main() -> ExitCode {
     }
 
     // Record mode.
-    let (rows, batch, serve) = match measure(args.preset, args.reps) {
+    let (rows, batch, serve, spec) = match measure(args.preset, args.reps) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("record_baseline: {e}");
             return ExitCode::from(1);
         }
     };
-    let rendered = render(args.preset, args.reps, &rows, &batch, &serve);
+    let rendered = render(args.preset, args.reps, &rows, &batch, &serve, &spec);
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &rendered) {
@@ -492,4 +669,70 @@ fn main() -> ExitCode {
         None => print!("{rendered}"),
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rows_accepts_finite_positive_figures() {
+        let rows = BTreeMap::from([
+            ("atax".to_string(), 1.25),
+            ("specialized_kernels".to_string(), 0.003),
+        ]);
+        assert!(validate_rows(&rows).is_ok());
+    }
+
+    #[test]
+    fn validate_rows_rejects_degenerate_figures() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let rows = BTreeMap::from([("atax".to_string(), 1.0), ("bad".to_string(), bad)]);
+            let err = validate_rows(&rows).expect_err("degenerate figure must be rejected");
+            assert!(err.contains("bad"), "error must name the row: {err}");
+        }
+    }
+
+    /// The rendered document round-trips through the compare-mode scanner,
+    /// including the synthetic rows and their extra keys.
+    #[test]
+    fn rendered_rows_round_trip_through_the_scanner() {
+        let rows = BTreeMap::from([
+            ("atax".to_string(), 1.5),
+            ("batch_throughput".to_string(), 0.75),
+            ("serve_latency".to_string(), 2.25),
+            ("specialized_kernels".to_string(), 12.125),
+        ]);
+        let batch = BatchRow {
+            dace_ms: 0.75,
+            serial_items_per_sec: 100.0,
+            batched_items_per_sec: 300.0,
+            speedup: 3.0,
+            workers: 4,
+            items: 16,
+        };
+        let serve = ServeRow {
+            dace_ms: 2.25,
+            p50_ms: 2.0,
+            p95_ms: 4.0,
+            requests: 32,
+            largest_batch: 8,
+        };
+        let spec = SpecRow {
+            dace_ms: 12.125,
+            vm_ms: 60.5,
+            speedup_geomean: 5.0,
+            kernels: 6,
+        };
+        let text = render(Preset::Bench, 3, &rows, &batch, &serve, &spec);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.len(), rows.len());
+        for (name, ms) in &rows {
+            assert_eq!(parsed[name], *ms, "row `{name}` lost precision");
+        }
+        // The extra keys survive rendering (informational, scanner-ignored).
+        assert!(text.contains("\"vm_ms\": 60.500"));
+        assert!(text.contains("\"spec_speedup_geomean\": 5.00"));
+        assert!(text.contains("\"spec_kernels\": 6"));
+    }
 }

@@ -297,11 +297,7 @@ impl GradientEngine {
             failed: 0,
             workers: driver.fanout_width(n),
             elapsed,
-            items_per_sec: if n == 0 {
-                0.0
-            } else {
-                n as f64 / elapsed.as_secs_f64().max(1e-12)
-            },
+            items_per_sec: dace_runtime::throughput(n, elapsed),
             total_tasklet_invocations: totals.0,
             total_map_points: totals.1,
             plan_cache: driver.program().cache_stats(),

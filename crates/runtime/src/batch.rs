@@ -120,7 +120,13 @@ pub struct BatchReport {
     /// Wall-clock time of the whole batch.
     pub elapsed: Duration,
     /// `items / elapsed` — the headline serving-throughput figure.
-    pub items_per_sec: f64,
+    ///
+    /// `None` when the figure would be degenerate: an empty batch, or an
+    /// elapsed time too small for the clock to resolve.  Consumers that
+    /// previously saw `0.0`, `inf` or `NaN` in those cases now get an
+    /// explicit absence instead of a number that poisons downstream
+    /// aggregation (geomeans, baselines, regression ratios).
+    pub items_per_sec: Option<f64>,
     /// Tasklet evaluations summed over the final run of every item's
     /// session.
     pub total_tasklet_invocations: u64,
@@ -139,6 +145,18 @@ pub struct BatchReport {
     pub sessions_reused: u64,
     /// Sessions parked in the idle pool after this batch.
     pub pooled_sessions: usize,
+}
+
+/// `items / elapsed` as a throughput figure, or `None` when the ratio is
+/// degenerate (no items, or an elapsed time the clock could not resolve).
+///
+/// A naive `items as f64 / elapsed.as_secs_f64()` produces `inf` for a
+/// non-empty batch measured at zero elapsed and `NaN` for an empty one —
+/// both of which silently corrupt any average, geomean or regression ratio
+/// computed over them.  Reporting `None` forces callers to decide.
+pub fn throughput(items: usize, elapsed: Duration) -> Option<f64> {
+    let secs = elapsed.as_secs_f64();
+    (items > 0 && secs > 0.0).then(|| items as f64 / secs)
 }
 
 /// Per-item results plus the aggregate [`BatchReport`].
@@ -414,11 +432,7 @@ impl BatchDriver {
             failed: n_items - succeeded,
             workers,
             elapsed,
-            items_per_sec: if n_items == 0 {
-                0.0
-            } else {
-                n_items as f64 / elapsed.as_secs_f64().max(1e-12)
-            },
+            items_per_sec: throughput(n_items, elapsed),
             total_tasklet_invocations: total_tasklets.into_inner(),
             total_map_points: total_points.into_inner(),
             plan_cache: self.program.cache_stats(),
@@ -469,5 +483,18 @@ mod tests {
         assert_sync::<BatchDriver>();
         assert_send::<CompiledProgram>();
         assert_sync::<CompiledProgram>();
+    }
+
+    /// Degenerate inputs yield `None`, never `0.0`, `inf` or `NaN`.
+    #[test]
+    fn throughput_rejects_degenerate_ratios() {
+        assert_eq!(throughput(0, Duration::ZERO), None);
+        assert_eq!(throughput(0, Duration::from_secs(1)), None);
+        assert_eq!(throughput(8, Duration::ZERO), None, "inf must not escape");
+        let t = throughput(8, Duration::from_millis(500)).unwrap();
+        assert!((t - 16.0).abs() < 1e-9);
+        assert!(t.is_finite() && t > 0.0);
+        // Sub-nanosecond-scale but nonzero elapsed is still a real figure.
+        assert!(throughput(1, Duration::from_nanos(1)).unwrap().is_finite());
     }
 }

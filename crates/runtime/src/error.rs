@@ -22,6 +22,8 @@ pub enum RuntimeError {
     },
     /// A memlet index evaluated to a negative or out-of-bounds value.
     BadIndex { array: String, index: Vec<i64> },
+    /// A map iteration domain is too large to count in a `usize`.
+    MapDomainOverflow { sizes: Vec<usize> },
     /// A symbolic expression could not be evaluated.
     Symbolic(String),
     /// A tensor kernel failed.
@@ -50,6 +52,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::BadIndex { array, index } => {
                 write!(f, "index {index:?} out of bounds for array `{array}`")
+            }
+            RuntimeError::MapDomainOverflow { sizes } => {
+                write!(f, "map iteration domain {sizes:?} overflows usize")
             }
             RuntimeError::Symbolic(m) => write!(f, "symbolic evaluation error: {m}"),
             RuntimeError::Tensor(m) => write!(f, "tensor kernel error: {m}"),

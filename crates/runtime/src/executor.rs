@@ -33,6 +33,7 @@ use crate::plan::{
     PlanMap, PlanNode, PlanOperand, PlanTasklet, SymFile,
 };
 use crate::program::Session;
+use crate::spec::SpecMode;
 
 /// Execution statistics and instrumentation results.
 #[derive(Clone, Debug, Default)]
@@ -56,6 +57,10 @@ pub struct ExecutionReport {
     pub state_executions: u64,
     /// Number of library-node expansions executed.
     pub library_calls: u64,
+    /// Number of specialized-kernel dispatches: each covers one whole
+    /// innermost-loop or map execution handled by the specialization tier
+    /// instead of the register VM (see [`crate::SpecMode`]).
+    pub specialized_dispatches: u64,
     /// Plan-cache hits recorded for this program's cache entry (snapshot at
     /// the end of the run; see [`crate::PlanCacheStats`]).
     pub plan_cache_hits: u64,
@@ -91,10 +96,10 @@ pub enum MapPath {
 /// creates one per chunk.
 #[derive(Default)]
 pub(crate) struct Scratch {
-    slots: Vec<f64>,
-    f_regs: Vec<f64>,
-    i_regs: Vec<i64>,
-    outs: Vec<f64>,
+    pub(crate) slots: Vec<f64>,
+    pub(crate) f_regs: Vec<f64>,
+    pub(crate) i_regs: Vec<i64>,
+    pub(crate) outs: Vec<f64>,
 }
 
 /// A buffered element write produced by the parallel map path.
@@ -120,6 +125,10 @@ pub(crate) struct RunState {
     pub(crate) free_hints: Vec<Vec<u32>>,
     pub(crate) scratch: Scratch,
     pub(crate) path: MapPath,
+    pub(crate) spec_mode: SpecMode,
+    /// Per-specialization-site dispatch counters (profile-guided upgrade;
+    /// deliberately *not* reset across runs — warmth persists per session).
+    pub(crate) spec_exec_counts: Vec<u64>,
 }
 
 /// The legacy coupled compile-and-run interface: a thin wrapper over
@@ -217,6 +226,8 @@ impl RunState {
             free_hints: vec![Vec::new(); plan.states.len()],
             scratch: Scratch::default(),
             path: MapPath::Auto,
+            spec_mode: SpecMode::from_env(),
+            spec_exec_counts: vec![0; plan.specs.len()],
         }
     }
 
@@ -266,6 +277,7 @@ impl RunState {
                 end,
                 step,
                 body,
+                spec,
             } => {
                 let start = self.idx(plan, start)?;
                 let end = self.idx(plan, end)?;
@@ -275,6 +287,27 @@ impl RunState {
                         "loop `{}` has zero step",
                         plan.syms.names[*var as usize]
                     )));
+                }
+                // Specialized innermost-loop dispatch.  The specialized run
+                // never touches the symbol file, matching the VM's net
+                // save/restore effect; per-state free hints keep the VM path
+                // (the hint fires per state execution).
+                if step == 1 {
+                    if let Some(spec_id) = *spec {
+                        let hints_clear = plan.specs[spec_id as usize]
+                            .state
+                            .is_none_or(|s| self.free_hints[s].is_empty());
+                        if hints_clear
+                            && self.spec_should_dispatch(spec_id)
+                            && self.exec_spec(plan, spec_id, start, end)?
+                        {
+                            let trip = (end - start) as u64;
+                            self.report.state_executions += trip;
+                            self.report.tasklet_invocations += trip;
+                            self.report.specialized_dispatches += 1;
+                            return Ok(());
+                        }
+                    }
                 }
                 let v = *var as usize;
                 let previous = (self.syms.vals[v], self.syms.defined[v]);
@@ -463,7 +496,15 @@ impl RunState {
             lows.push(lo);
             sizes.push((hi - lo).max(0) as usize);
         }
-        let total: usize = sizes.iter().product();
+        // Symbolic extents are attacker/user-controlled: the domain size must
+        // not wrap (wrapping would silently truncate the iteration count in
+        // release builds and panic in debug builds).
+        let total: usize = sizes
+            .iter()
+            .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+            .ok_or_else(|| RuntimeError::MapDomainOverflow {
+                sizes: sizes.clone(),
+            })?;
         if total == 0 {
             return Ok(());
         }
@@ -483,6 +524,18 @@ impl RunState {
         if self.path == MapPath::Auto {
             if let Some(ew) = &m.elementwise {
                 if lows.iter().all(|&l| l == 0) && self.exec_map_elementwise(ew, &sizes, total)? {
+                    return Ok(());
+                }
+            }
+            // Specialized 1-D strided-loop dispatch: covers offset and
+            // strided memlets the identity-indexed element-wise path cannot
+            // express (e.g. 1-D stencils).
+            if let Some(spec_id) = m.spec {
+                if self.spec_should_dispatch(spec_id)
+                    && self.exec_spec(plan, spec_id, lows[0], lows[0] + sizes[0] as i64)?
+                {
+                    self.report.tasklet_invocations += total as u64;
+                    self.report.specialized_dispatches += 1;
                     return Ok(());
                 }
             }
@@ -1052,6 +1105,69 @@ mod tests {
             ex.array("Y").unwrap(),
             &expected
         ));
+    }
+
+    /// A symbolic iteration domain whose point count overflows `usize` must
+    /// surface as a typed error, not wrap in release or panic in debug.
+    #[test]
+    fn oversized_map_domain_is_a_typed_error() {
+        let mut sdfg = Sdfg::new("huge");
+        sdfg.add_symbol("N");
+        sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
+        sdfg.add_array("Y", ArrayDesc::input(vec![SymExpr::int(1)]))
+            .unwrap();
+        let mut body = DataflowGraph::new();
+        let r = body.add_access("X");
+        let t = body.add_tasklet(Tasklet::new("id", "o", E::input("x")));
+        let w = body.add_access("Y");
+        body.add_edge(
+            r,
+            None,
+            t,
+            Some("x"),
+            Memlet::element("X", vec![SymExpr::int(0)]),
+        );
+        body.add_edge(
+            t,
+            Some("o"),
+            w,
+            None,
+            Memlet::element("Y", vec![SymExpr::int(0)]),
+        );
+        let mut g = DataflowGraph::new();
+        let rn = g.add_access("X");
+        let m = g.add_map(MapScope {
+            params: vec!["i".into(), "j".into(), "k".into()],
+            ranges: vec![
+                (SymExpr::int(0), SymExpr::sym("N")),
+                (SymExpr::int(0), SymExpr::sym("N")),
+                (SymExpr::int(0), SymExpr::sym("N")),
+            ],
+            body,
+            parallel: false,
+        });
+        let wn = g.add_access("Y");
+        g.add_edge(rn, None, m, None, Memlet::all("X"));
+        g.add_edge(m, None, wn, None, Memlet::all("Y"));
+        let sid = sdfg.add_state(State {
+            name: "s".into(),
+            graph: g,
+        });
+        sdfg.cfg = ControlFlow::State(sid);
+
+        // 2^22 per dimension: the product 2^66 does not fit in a u64-sized
+        // usize, and must error before any per-point work or allocation.
+        let mut ex = mk_session(&sdfg, &symbols(&[("N", 1 << 22)])).unwrap();
+        ex.set_input("X", Tensor::from_vec(vec![1.0], &[1]).unwrap())
+            .unwrap();
+        let err = ex.run().unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::MapDomainOverflow {
+                sizes: vec![1 << 22; 3],
+            }
+        );
     }
 
     /// The same elementwise-eligible map must produce identical results and

@@ -84,8 +84,9 @@ pub mod memory;
 mod plan;
 mod program;
 pub mod serve;
+mod spec;
 
-pub use batch::{BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport};
+pub use batch::{throughput, BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport};
 pub use error::{RuntimeError, RuntimeResult};
 pub use executor::{ExecutionReport, Executor, MapPath};
 pub use memory::MemoryTracker;
@@ -95,3 +96,4 @@ pub use program::{
     CompiledProgram, PlanCacheStats, Session, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use serve::{RequestHandle, ServeDriver, ServeError, ServeOptions, ServeResponse, ServeStats};
+pub use spec::SpecMode;

@@ -29,8 +29,9 @@
 use std::collections::HashMap;
 
 use dace_sdfg::{
-    CmpOp, CompiledExpr, CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, LeafRef,
-    LibraryOp, MapScope, Sdfg, SubsetClass, SymError, SymExpr, Tasklet, Wcr,
+    CmpOp, CompiledExpr, CondExpr, CondOperand, ControlFlow, DataflowGraph, DfNode, IndexRange,
+    LeafRef, LibraryOp, MapScope, MicroPattern, Sdfg, Subset, SubsetClass, SymError, SymExpr,
+    Tasklet, Wcr,
 };
 
 use crate::error::{RuntimeError, RuntimeResult};
@@ -310,6 +311,52 @@ pub(crate) struct PlanElementwise {
     pub accumulate: bool,
 }
 
+/// One array access of a specialized kernel, decomposed as an affine
+/// function of the specialized iteration variable: dimension `d` indexes at
+/// `rest[d] + coeff[d] * i`.  The `rest` parts are loop-invariant and
+/// evaluated once per dispatch; the flat row-major offset then advances by a
+/// precomputed constant stride per iteration.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecAccess {
+    pub array: u32,
+    /// Loop-invariant index component per dimension.
+    pub rest: Vec<CIdx>,
+    /// Coefficient of the iteration variable per dimension.
+    pub coeff: Vec<i64>,
+}
+
+/// A specialized innermost-loop kernel: a control-flow loop (or 1-D map)
+/// whose body is a single affine-memlet tasklet, compiled down to a flat
+/// native loop with per-access constant strides.  The register VM remains
+/// the universal fallback — dispatch re-validates every precondition and
+/// bails out (`Ok(false)`) before mutating anything, so the VM reproduces
+/// exact error semantics (including partial execution) whenever the
+/// specialized form does not apply.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecKernel {
+    /// Element reads, `(slot, access)`, in tasklet edge order.
+    pub reads: Vec<(u32, SpecAccess)>,
+    /// Whole-array scalar reads (`(slot, array)`, length-1 containers).
+    pub scalar_reads: Vec<(u32, u32)>,
+    /// Loop-invariant iteration-symbol promotions, loaded once per dispatch.
+    pub iter_loads: Vec<(u32, u32)>,
+    /// Expression slots holding the specialized iteration variable itself
+    /// (updated per iteration).
+    pub inner_iter_slots: Vec<u32>,
+    pub n_slots: usize,
+    pub expr: CompiledExpr,
+    /// Micro-kernel shape of `expr`, when recognized (bit-identical eval).
+    pub micro: Option<MicroPattern>,
+    pub write: SpecAccess,
+    pub accumulate: bool,
+    /// Every array the body's access nodes touch (pre-allocated at dispatch,
+    /// mirroring the VM's allocation side effects).
+    pub arrays: Vec<u32>,
+    /// The state executed by the loop body (control-flow specs only; used
+    /// for state accounting and the free-hint guard).
+    pub state: Option<usize>,
+}
+
 /// A lowered map scope.
 #[derive(Clone, Debug)]
 pub(crate) struct PlanMap {
@@ -325,6 +372,8 @@ pub(crate) struct PlanMap {
     /// Tasklet count of one body execution (for invocation accounting).
     pub body_tasklets: u64,
     pub elementwise: Option<PlanElementwise>,
+    /// Specialized-kernel id of a recognized 1-D affine map body.
+    pub spec: Option<u32>,
 }
 
 /// A lowered library node.
@@ -394,6 +443,8 @@ pub(crate) enum PlanCf {
         end: CIdx,
         step: CIdx,
         body: Box<PlanCf>,
+        /// Specialized-kernel id of a recognized innermost-loop body.
+        spec: Option<u32>,
     },
     Branch {
         cond: PlanCond,
@@ -411,6 +462,8 @@ pub(crate) struct ExecPlan {
     pub init_syms: SymFile,
     pub states: Vec<PlanGraph>,
     pub cfg: PlanCf,
+    /// Specialized innermost-loop kernels recognized in this plan.
+    pub specs: Vec<SpecKernel>,
 }
 
 // ---------------------------------------------------------------------------
@@ -421,6 +474,7 @@ struct Lowerer {
     arrays: ArrayTable,
     syms: SymTable,
     init_syms: SymFile,
+    specs: Vec<SpecKernel>,
 }
 
 /// Compile an SDFG into an execution plan under concrete symbol values.
@@ -464,6 +518,7 @@ pub(crate) fn compile_plan(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> ExecP
         },
         syms: SymTable::default(),
         init_syms: SymFile::default(),
+        specs: Vec::new(),
     };
 
     // Intern every provided symbol value (sorted for deterministic slots);
@@ -481,13 +536,28 @@ pub(crate) fn compile_plan(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> ExecP
         .iter()
         .map(|s| lo.lower_graph(&s.graph))
         .collect();
-    let cfg = lo.lower_cf(&sdfg.cfg);
+    let mut cfg = lo.lower_cf(&sdfg.cfg);
+    // Specialization post-pass: walk the original and lowered control-flow
+    // trees in parallel (they are structurally identical) and attach
+    // specialized kernels to unit-step innermost loops over a single state.
+    lo.attach_cf_specs(&sdfg.cfg, &mut cfg, sdfg, &states);
     ExecPlan {
         arrays: lo.arrays,
         syms: lo.syms,
         init_syms: lo.init_syms,
         states,
         cfg,
+        specs: lo.specs,
+    }
+}
+
+/// Resolve a control-flow subtree that is a single state (possibly wrapped
+/// in singleton sequences, which the frontend's loop builder emits).
+fn singleton_state(cf: &ControlFlow) -> Option<usize> {
+    match cf {
+        ControlFlow::State(id) => Some(*id),
+        ControlFlow::Sequence(items) if items.len() == 1 => singleton_state(&items[0]),
+        _ => None,
     }
 }
 
@@ -763,6 +833,19 @@ impl Lowerer {
             .filter(|n| matches!(n, DfNode::Tasklet(_)))
             .count() as u64;
         let elementwise = self.lower_elementwise(map);
+        // Specialization: a single-parameter map whose body is one affine
+        // tasklet compiles to a flat strided loop (maps are rectangular, so
+        // only the innermost/only dimension is specialized).
+        let spec = if map.params.len() == 1 {
+            self.recognize_spec(&map.body, &body, &map.params[0])
+                .map(|k| {
+                    let id = self.specs.len() as u32;
+                    self.specs.push(k);
+                    id
+                })
+        } else {
+            None
+        };
         Ok(PlanMap {
             params,
             ranges,
@@ -772,6 +855,7 @@ impl Lowerer {
             parallel_safe,
             body_tasklets,
             elementwise,
+            spec,
         })
     }
 
@@ -861,6 +945,185 @@ impl Lowerer {
         })
     }
 
+    /// Lower a memlet subset into an affine access of `var`: every dimension
+    /// must be a plain index decomposable as `coeff * var + rest`, against an
+    /// array whose concrete layout is known and of matching rank.
+    fn lower_affine_subset(
+        &mut self,
+        subset: &Subset,
+        var: &str,
+        array: u32,
+    ) -> Option<SpecAccess> {
+        if !subset.is_element() {
+            return None;
+        }
+        {
+            let layout = self.arrays.layouts[array as usize].as_ref().ok()?;
+            if subset.0.len() != layout.dims.len() {
+                return None;
+            }
+        }
+        let mut rest = Vec::with_capacity(subset.0.len());
+        let mut coeff = Vec::with_capacity(subset.0.len());
+        for r in &subset.0 {
+            let IndexRange::Index(e) = r else { return None };
+            let (k, rem) = e.affine_in(var)?;
+            coeff.push(k);
+            rest.push(self.lower_sym_expr(&rem));
+        }
+        Some(SpecAccess { array, rest, coeff })
+    }
+
+    /// Recognize a specializable loop body: a dataflow graph of access nodes
+    /// plus exactly one single-assignment tasklet whose memlets are all
+    /// affine in `var` (element subsets) or loop-invariant scalars
+    /// (whole-array subsets of length-1 containers).  `graph` is the
+    /// original body and `lowered` its lowered form; the two correspond
+    /// node-for-node and edge-for-edge by construction.
+    fn recognize_spec(
+        &mut self,
+        graph: &DataflowGraph,
+        lowered: &PlanGraph,
+        var: &str,
+    ) -> Option<SpecKernel> {
+        if lowered.fail.is_some() {
+            return None;
+        }
+        let mut tasklet = None;
+        let mut arrays = Vec::new();
+        for (id, node) in lowered.nodes.iter().enumerate() {
+            match node {
+                PlanNode::Access(a) => {
+                    if !arrays.contains(a) {
+                        arrays.push(*a);
+                    }
+                }
+                PlanNode::Tasklet(t) => {
+                    if tasklet.is_some() {
+                        return None;
+                    }
+                    tasklet = Some((id, t));
+                }
+                _ => return None,
+            }
+        }
+        let (tnode, t) = tasklet?;
+        if t.exprs.len() != 1 || t.writes.len() != 1 {
+            return None;
+        }
+        let out_edges = graph.out_edges(tnode);
+        let in_edges = graph.in_edges(tnode);
+        if out_edges.len() != 1 || in_edges.len() != t.reads.len() {
+            return None;
+        }
+        let out_array = t.writes[0].array;
+        let write = self.lower_affine_subset(&out_edges[0].memlet.subset, var, out_array)?;
+        let mut reads = Vec::new();
+        let mut scalar_reads = Vec::new();
+        let mut seen_slots = Vec::new();
+        for (r, e) in t.reads.iter().zip(&in_edges) {
+            // Duplicate connectors share a slot with last-wins semantics;
+            // keep that subtlety on the VM path.
+            if seen_slots.contains(&r.slot) {
+                return None;
+            }
+            seen_slots.push(r.slot);
+            match &r.access {
+                PlanAccess::Element(_) => {
+                    reads.push((
+                        r.slot,
+                        self.lower_affine_subset(&e.memlet.subset, var, r.array)?,
+                    ));
+                }
+                PlanAccess::All => {
+                    // A scalar read of the written array would have to track
+                    // per-iteration writes; leave that to the VM.
+                    if r.array == out_array {
+                        return None;
+                    }
+                    scalar_reads.push((r.slot, r.array));
+                }
+            }
+        }
+        let var_slot = self.sym(var);
+        let mut iter_loads = Vec::new();
+        let mut inner_iter_slots = Vec::new();
+        for &(slot, sym) in &t.iter_loads {
+            if sym == var_slot {
+                inner_iter_slots.push(slot);
+            } else {
+                iter_loads.push((slot, sym));
+            }
+        }
+        let expr = t.exprs[0].clone();
+        let micro = expr.micro_pattern();
+        Some(SpecKernel {
+            reads,
+            scalar_reads,
+            iter_loads,
+            inner_iter_slots,
+            n_slots: t.n_slots,
+            expr,
+            micro,
+            write,
+            accumulate: t.writes[0].accumulate,
+            arrays,
+            state: None,
+        })
+    }
+
+    /// Attach specialized kernels to unit-step control-flow loops whose body
+    /// is a single recognizable state, recursing structurally through the
+    /// original and lowered trees in lock-step.
+    fn attach_cf_specs(
+        &mut self,
+        cf: &ControlFlow,
+        plan: &mut PlanCf,
+        sdfg: &Sdfg,
+        states: &[PlanGraph],
+    ) {
+        match (cf, plan) {
+            (ControlFlow::Sequence(cs), PlanCf::Seq(ps)) => {
+                for (c, p) in cs.iter().zip(ps.iter_mut()) {
+                    self.attach_cf_specs(c, p, sdfg, states);
+                }
+            }
+            (
+                ControlFlow::Branch(b),
+                PlanCf::Branch {
+                    then_body,
+                    else_body,
+                    ..
+                },
+            ) => {
+                self.attach_cf_specs(&b.then_body, then_body, sdfg, states);
+                if let (Some(c), Some(p)) = (b.else_body.as_ref(), else_body.as_mut()) {
+                    self.attach_cf_specs(c, p, sdfg, states);
+                }
+            }
+            (ControlFlow::Loop(l), PlanCf::Loop { body, spec, .. }) => {
+                self.attach_cf_specs(&l.body, body, sdfg, states);
+                // Only unit-step loops specialize: the flat-stride walk
+                // assumes consecutive iterator values.  (The runtime step is
+                // re-checked at dispatch; this is the structural gate.)
+                if l.step != SymExpr::int(1) {
+                    return;
+                }
+                let Some(sid) = singleton_state(&l.body) else {
+                    return;
+                };
+                if let Some(mut k) =
+                    self.recognize_spec(&sdfg.states[sid].graph, &states[sid], &l.var)
+                {
+                    k.state = Some(sid);
+                    *spec = Some(self.specs.len() as u32);
+                    self.specs.push(k);
+                }
+            }
+            _ => {}
+        }
+    }
+
     fn lower_library(
         &mut self,
         graph: &DataflowGraph,
@@ -900,6 +1163,7 @@ impl Lowerer {
                 end: self.lower_sym_expr(&l.end),
                 step: self.lower_sym_expr(&l.step),
                 body: Box::new(self.lower_cf(&l.body)),
+                spec: None,
             },
             ControlFlow::Branch(b) => PlanCf::Branch {
                 cond: self.lower_cond(&b.cond),

@@ -587,6 +587,14 @@ impl Session {
         self.st.path = path;
     }
 
+    /// Force the specialized-kernel dispatch mode (testing/instrumentation
+    /// knob mirroring [`Session::force_map_path`]; see [`crate::SpecMode`]).
+    /// Defaults to the `DACE_SPEC` environment variable (`off`/`on`), else
+    /// profile-guided `Auto`.
+    pub fn force_specialization(&mut self, mode: crate::SpecMode) {
+        self.st.spec_mode = mode;
+    }
+
     /// Access an array after (or before) execution.
     pub fn array(&self, name: &str) -> Option<&Tensor> {
         self.program

@@ -276,10 +276,9 @@ impl RequestHandle {
             // it from the queue.
             *phase = ReqPhase::Done(Err(ServeError::Cancelled));
             self.req.done_cv.notify_all();
-            self.shared
-                .counters
-                .cancelled
-                .fetch_add(1, Ordering::Relaxed);
+            let mut c = self.shared.lock_counters();
+            c.queued -= 1;
+            c.cancelled += 1;
             true
         } else {
             false
@@ -287,15 +286,26 @@ impl RequestHandle {
     }
 }
 
+/// Request-lifecycle counters, all under one lock so a [`ServeStats`]
+/// snapshot is *coherent*: every admitted request is counted in exactly one
+/// of `queued`, `in_flight`, `completed`, `failed`, `cancelled`, `expired`
+/// or `rejected` at every instant, and each lifecycle transition updates
+/// both sides of the move in a single critical section.  (Independent
+/// relaxed atomics — the previous design — allowed torn snapshots where a
+/// request had left `queued` but not yet arrived anywhere else, breaking
+/// the conservation invariant documented on [`ServeStats`].)
 #[derive(Default)]
 struct Counters {
-    admitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    expired: AtomicU64,
-    batches: AtomicU64,
-    largest_batch: AtomicUsize,
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    expired: u64,
+    rejected: u64,
+    queued: u64,
+    in_flight: u64,
+    batches: u64,
+    largest_batch: usize,
 }
 
 /// Sliding window of completion latencies (seconds) for the percentile
@@ -335,11 +345,25 @@ impl LatencyWindow {
 }
 
 /// Snapshot of a [`ServeDriver`]'s counters and latency percentiles.
+///
+/// Snapshots are **coherent**: all counters are read under one lock, and
+/// every lifecycle transition updates its counters atomically, so the
+/// conservation invariant
+///
+/// ```text
+/// admitted == queue_depth + in_flight
+///           + completed + failed + cancelled + expired + rejected
+/// ```
+///
+/// holds on *every* snapshot, not just at quiescence.
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
-    /// Requests currently waiting in the admission queue (cancelled
-    /// requests not yet drained by the dispatcher are included).
+    /// Requests currently waiting in the admission queue.  (Cancelled or
+    /// expired requests are counted out the moment they complete, even if
+    /// the dispatcher has not physically drained them yet.)
     pub queue_depth: usize,
+    /// Requests claimed by the dispatcher and not yet completed.
+    pub in_flight: u64,
     /// Requests ever submitted (including ones later cancelled/expired).
     pub admitted: u64,
     /// Requests that executed and returned a result.
@@ -350,6 +374,8 @@ pub struct ServeStats {
     pub cancelled: u64,
     /// Requests rejected because their deadline passed before dispatch.
     pub expired: u64,
+    /// Requests rejected because the driver was shutting down.
+    pub rejected: u64,
     /// Batches dispatched so far.
     pub batches: u64,
     /// Largest number of requests one dispatch coalesced.
@@ -386,7 +412,7 @@ struct Shared {
     max_batch: AtomicUsize,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
-    counters: Counters,
+    counters: Mutex<Counters>,
     latencies: Mutex<LatencyWindow>,
     next_id: AtomicU64,
 }
@@ -394,6 +420,10 @@ struct Shared {
 impl Shared {
     fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_counters(&self) -> MutexGuard<'_, Counters> {
+        self.counters.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn max_batch(&self) -> usize {
@@ -451,7 +481,7 @@ impl ServeDriver {
                 shutdown: false,
             }),
             queue_cv: Condvar::new(),
-            counters: Counters::default(),
+            counters: Mutex::new(Counters::default()),
             latencies: Mutex::new(LatencyWindow::new()),
             next_id: AtomicU64::new(0),
         });
@@ -505,7 +535,6 @@ impl ServeDriver {
             }),
             done_cv: Condvar::new(),
         });
-        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
         let handle = RequestHandle {
             req: Arc::clone(&req),
             shared: Arc::clone(shared),
@@ -515,7 +544,11 @@ impl ServeDriver {
         if let Some(dl) = deadline {
             let now = Instant::now();
             if now >= dl {
-                shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = shared.lock_counters();
+                    c.admitted += 1;
+                    c.expired += 1;
+                }
                 req.complete(Err(ServeError::DeadlineExceeded {
                     missed_by: now - dl,
                 }));
@@ -525,10 +558,20 @@ impl ServeDriver {
         let mut queue = shared.lock_queue();
         if queue.shutdown {
             drop(queue);
+            {
+                let mut c = shared.lock_counters();
+                c.admitted += 1;
+                c.rejected += 1;
+            }
             req.complete(Err(ServeError::ShuttingDown));
             return handle;
         }
         queue.items.push_back(req);
+        {
+            let mut c = shared.lock_counters();
+            c.admitted += 1;
+            c.queued += 1;
+        }
         drop(queue);
         shared.queue_cv.notify_one();
         handle
@@ -552,10 +595,11 @@ impl ServeDriver {
         handles.into_iter().map(RequestHandle::wait).collect()
     }
 
-    /// Counter / latency snapshot.
+    /// Counter / latency snapshot.  Coherent: all lifecycle counters are
+    /// read under one lock, so the conservation invariant documented on
+    /// [`ServeStats`] holds on every snapshot.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
-        let queue_depth = shared.lock_queue().items.len();
         let (p50, p95) = {
             let window = shared.latencies.lock().unwrap_or_else(|e| e.into_inner());
             let mut sorted = window.samples.clone();
@@ -565,16 +609,18 @@ impl ServeDriver {
                 LatencyWindow::percentile(&sorted, 0.95),
             )
         };
-        let c = &shared.counters;
+        let c = shared.lock_counters();
         ServeStats {
-            queue_depth,
-            admitted: c.admitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            expired: c.expired.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            queue_depth: c.queued as usize,
+            in_flight: c.in_flight,
+            admitted: c.admitted,
+            completed: c.completed,
+            failed: c.failed,
+            cancelled: c.cancelled,
+            expired: c.expired,
+            rejected: c.rejected,
+            batches: c.batches,
+            largest_batch: c.largest_batch,
             p50_latency: p50,
             p95_latency: p95,
             sessions_created: shared.driver.sessions_created(),
@@ -677,7 +723,11 @@ fn sweep_expired(shared: &Shared, queue: &mut QueueState, now: Instant) {
         match &*phase {
             ReqPhase::Queued { .. } if due => {
                 let dl = req.deadline.expect("due implies a deadline");
-                shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = shared.lock_counters();
+                    c.queued -= 1;
+                    c.expired += 1;
+                }
                 *phase = ReqPhase::Done(Err(ServeError::DeadlineExceeded {
                     missed_by: now - dl,
                 }));
@@ -759,13 +809,22 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Claimed>> {
                     let now = Instant::now();
                     if let Some(dl) = req.deadline {
                         if now >= dl {
-                            shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                            {
+                                let mut c = shared.lock_counters();
+                                c.queued -= 1;
+                                c.expired += 1;
+                            }
                             *phase = ReqPhase::Done(Err(ServeError::DeadlineExceeded {
                                 missed_by: now - dl,
                             }));
                             req.done_cv.notify_all();
                             continue;
                         }
+                    }
+                    {
+                        let mut c = shared.lock_counters();
+                        c.queued -= 1;
+                        c.in_flight += 1;
                     }
                     drop(phase);
                     claimed.push(Claimed {
@@ -793,11 +852,11 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Claimed>> {
 /// admission layer adds nothing to the per-item run path.
 fn serve_batch(shared: &Shared, batch: Vec<Claimed>) {
     let n = batch.len();
-    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .counters
-        .largest_batch
-        .fetch_max(n, Ordering::Relaxed);
+    {
+        let mut c = shared.lock_counters();
+        c.batches += 1;
+        c.largest_batch = c.largest_batch.max(n);
+    }
     let out = shared.driver.run_batch_with(n, |i, session| {
         let (inputs, fetch) = batch[i]
             .payload
@@ -825,7 +884,11 @@ fn serve_batch(shared: &Shared, batch: Vec<Claimed>) {
         let result = match item {
             Ok((outputs, report)) => {
                 let latency = claimed.req.submitted.elapsed();
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut c = shared.lock_counters();
+                    c.in_flight -= 1;
+                    c.completed += 1;
+                }
                 shared
                     .latencies
                     .lock()
@@ -839,11 +902,17 @@ fn serve_batch(shared: &Shared, batch: Vec<Claimed>) {
                 })
             }
             Err(BatchError::Item(e)) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let mut c = shared.lock_counters();
+                c.in_flight -= 1;
+                c.failed += 1;
+                drop(c);
                 Err(ServeError::Execution(e))
             }
             Err(BatchError::Panicked(msg)) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let mut c = shared.lock_counters();
+                c.in_flight -= 1;
+                c.failed += 1;
+                drop(c);
                 Err(ServeError::Panicked(msg))
             }
         };
@@ -883,5 +952,53 @@ mod tests {
         assert_eq!(LatencyWindow::percentile(&[], 0.5), Duration::ZERO);
         let one = [Duration::from_millis(7)];
         assert_eq!(LatencyWindow::percentile(&one, 0.95), one[0]);
+    }
+
+    /// An exactly-full window holds its `LATENCY_WINDOW` samples untouched;
+    /// the percentile of the full ring covers them all.
+    #[test]
+    fn latency_window_exactly_full_keeps_every_sample() {
+        let mut w = LatencyWindow::new();
+        for i in 0..LATENCY_WINDOW {
+            w.record(Duration::from_micros(i as u64 + 1));
+        }
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+        let mut sorted = w.samples.clone();
+        sorted.sort();
+        assert_eq!(
+            LatencyWindow::percentile(&sorted, 1.0),
+            Duration::from_micros(LATENCY_WINDOW as u64)
+        );
+        assert_eq!(
+            LatencyWindow::percentile(&sorted, 0.0),
+            Duration::from_micros(1)
+        );
+    }
+
+    /// Past capacity the window is a ring: the length stays pinned at
+    /// `LATENCY_WINDOW` and new samples overwrite the oldest slots in
+    /// insertion order, so after a full extra lap only the newest
+    /// `LATENCY_WINDOW` samples remain.
+    #[test]
+    fn latency_window_wraps_around_overwriting_oldest() {
+        let mut w = LatencyWindow::new();
+        for i in 0..LATENCY_WINDOW + 7 {
+            w.record(Duration::from_micros(i as u64));
+        }
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+        assert_eq!(w.next, 7);
+        // Slots 0..7 were overwritten by the 7 overflow samples.
+        for (slot, expect) in (LATENCY_WINDOW..LATENCY_WINDOW + 7).enumerate() {
+            assert_eq!(w.samples[slot], Duration::from_micros(expect as u64));
+        }
+        assert_eq!(w.samples[7], Duration::from_micros(7));
+        // A second full lap leaves exactly the newest window.
+        for i in 0..LATENCY_WINDOW {
+            w.record(Duration::from_micros(1_000_000 + i as u64));
+        }
+        assert!(w
+            .samples
+            .iter()
+            .all(|d| *d >= Duration::from_micros(1_000_000)));
     }
 }

@@ -1,0 +1,314 @@
+//! The specialized-kernel execution tier.
+//!
+//! Plan compilation ([`crate::plan`]) recognizes dominant kernel shapes —
+//! affine-memlet elementwise bodies, fixed-radius stencils, and
+//! reduction/contraction bodies — in unit-step innermost control-flow loops
+//! and single-parameter maps, and records them as
+//! [`crate::plan::SpecKernel`]s.  This module is the dispatcher: it turns a
+//! recognized kernel into one flat native loop where every array access
+//! advances by a precomputed constant stride, instead of re-walking the plan
+//! graph and re-evaluating compiled index expressions per point.
+//!
+//! Exactness is the design invariant:
+//!
+//! * **Validate first, mutate second.**  Every precondition — runtime trip
+//!   count, bound iteration symbols, in-range accesses across the whole
+//!   iteration space, scalar-read container sizes — is checked before any
+//!   allocation or write.  Any failure returns `Ok(false)` and the caller
+//!   falls back to the register VM, which reproduces the exact semantics of
+//!   the failing case, including partial execution followed by an error.
+//! * **Bit-identical arithmetic.**  The specialized loop evaluates the very
+//!   same [`dace_sdfg::CompiledExpr`] the VM would (or its recognized
+//!   [`dace_sdfg::MicroPattern`], whose evaluation applies the same
+//!   operations in the same order), with reads loaded into the same slots in
+//!   the same order —
+//!   so results match the VM bit for bit, a property the proptests in
+//!   `tests/spec.rs` pin down.
+//! * **Aliasing-aware.**  Reads of the written array go through the output
+//!   buffer being mutated, preserving Gauss–Seidel-style read-after-write
+//!   order within the loop.
+//!
+//! Dispatch is profile-guided ([`SpecMode::Auto`]): a site runs on the VM
+//! for its first [`SPEC_UPGRADE_THRESHOLD`] dispatch opportunities, then
+//! self-upgrades to the specialized loop.  [`SpecMode::ForceOn`] /
+//! [`SpecMode::ForceOff`] (or the `DACE_SPEC=on|off` environment variable)
+//! pin the choice for A/B testing, mirroring [`crate::MapPath`].
+
+use crate::error::RuntimeResult;
+use crate::executor::RunState;
+use crate::plan::{ExecPlan, SpecAccess};
+
+/// Number of dispatch opportunities a specialization site spends on the VM
+/// before [`SpecMode::Auto`] upgrades it to the specialized loop.  Cold
+/// sites keep the VM's lazy validation and pay no specialization cost.
+pub(crate) const SPEC_UPGRADE_THRESHOLD: u64 = 3;
+
+/// Specialized-kernel dispatch control: the [`crate::MapPath`]-style force
+/// knob of the specialization tier (`Session::force_specialization`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpecMode {
+    /// Profile-guided: each site upgrades to its specialized loop after a
+    /// fixed number of VM executions.
+    #[default]
+    Auto,
+    /// Dispatch specialized kernels whenever structurally recognized.
+    ForceOn,
+    /// Never dispatch specialized kernels (pure register-VM execution).
+    ForceOff,
+}
+
+impl SpecMode {
+    /// Initial mode from the `DACE_SPEC` environment variable: `off`, `on`,
+    /// or anything else (including unset) for `Auto`.
+    pub(crate) fn from_env() -> Self {
+        match std::env::var("DACE_SPEC").as_deref() {
+            Ok("off") => SpecMode::ForceOff,
+            Ok("on") => SpecMode::ForceOn,
+            _ => SpecMode::Auto,
+        }
+    }
+}
+
+/// One access flattened against its layout for a concrete `[start, end)`
+/// window: row-major offset at `i = start`, and offset delta per iteration.
+#[derive(Clone, Copy)]
+struct Flat {
+    base: i64,
+    step: i64,
+}
+
+/// Where a specialized read loads from.
+enum SrcBuf<'a> {
+    /// A slab tensor distinct from the written array.
+    Slab(&'a [f64]),
+    /// The written array itself (reads observe in-loop writes).
+    Out,
+}
+
+/// A specialized read with its running flat offset.
+struct SpecSrc<'a> {
+    slot: usize,
+    off: i64,
+    step: i64,
+    buf: SrcBuf<'a>,
+}
+
+impl RunState {
+    /// Whether a specialization site should dispatch now, advancing its
+    /// profile counter in `Auto` mode.
+    pub(crate) fn spec_should_dispatch(&mut self, spec_id: u32) -> bool {
+        match self.spec_mode {
+            SpecMode::ForceOff => false,
+            SpecMode::ForceOn => true,
+            SpecMode::Auto => {
+                let count = &mut self.spec_exec_counts[spec_id as usize];
+                if *count >= SPEC_UPGRADE_THRESHOLD {
+                    true
+                } else {
+                    *count += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Flatten one access over `i in [start, start + trip)`: evaluate the
+    /// loop-invariant index parts, bounds-check the extreme iterations per
+    /// dimension (which covers every iteration, indices being monotone in
+    /// `i`), and fold the per-dimension strides into a flat base and step.
+    /// `None` means the VM must handle this dispatch.
+    fn flatten_spec_access(
+        &mut self,
+        plan: &ExecPlan,
+        acc: &SpecAccess,
+        start: i64,
+        last: i64,
+    ) -> Option<Flat> {
+        let layout = plan.arrays.layout(acc.array).ok()?;
+        let mut base = 0i64;
+        let mut step = 0i64;
+        for d in 0..acc.coeff.len() {
+            let rest = acc.rest[d]
+                .eval(&self.syms, &plan.syms.names, &mut self.scratch.i_regs)
+                .ok()?;
+            let c = acc.coeff[d];
+            let at_start = c.checked_mul(start).and_then(|v| v.checked_add(rest))?;
+            let at_last = c.checked_mul(last).and_then(|v| v.checked_add(rest))?;
+            let (lo, hi) = if c >= 0 {
+                (at_start, at_last)
+            } else {
+                (at_last, at_start)
+            };
+            if lo < 0 || hi >= layout.dims[d] as i64 {
+                return None;
+            }
+            base = base.checked_add(at_start.checked_mul(layout.strides[d] as i64)?)?;
+            step = step.checked_add(c.checked_mul(layout.strides[d] as i64)?)?;
+        }
+        Some(Flat { base, step })
+    }
+
+    /// Execute specialized kernel `spec_id` over `i in [start, end)` with
+    /// unit step.  Returns `Ok(false)` — having mutated nothing — when any
+    /// precondition fails and the VM must run instead.
+    pub(crate) fn exec_spec(
+        &mut self,
+        plan: &ExecPlan,
+        spec_id: u32,
+        start: i64,
+        end: i64,
+    ) -> RuntimeResult<bool> {
+        let spec = &plan.specs[spec_id as usize];
+        if end <= start {
+            // The VM's empty loop is already free; keep one code path.
+            return Ok(false);
+        }
+        let trip = (end - start) as usize;
+
+        // -- Validation (no mutation past this comment until it all holds) --
+        for &a in &spec.arrays {
+            // A missing non-transient input must surface as the VM's error.
+            if self.slab[a as usize].is_none() && !plan.arrays.transient[a as usize] {
+                return Ok(false);
+            }
+        }
+        for &(_, sym) in &spec.iter_loads {
+            if !self.syms.defined[sym as usize] {
+                return Ok(false);
+            }
+        }
+        for &(_, a) in &spec.scalar_reads {
+            // Tensor length always equals the layout product, so this is
+            // checkable before allocation.
+            let Ok(layout) = plan.arrays.layout(a) else {
+                return Ok(false);
+            };
+            if layout.dims.iter().product::<usize>() != 1 {
+                return Ok(false);
+            }
+        }
+        let last = end - 1;
+        let mut read_flats = Vec::with_capacity(spec.reads.len());
+        for (_, acc) in &spec.reads {
+            match self.flatten_spec_access(plan, acc, start, last) {
+                Some(f) => read_flats.push(f),
+                None => return Ok(false),
+            }
+        }
+        let Some(write) = self.flatten_spec_access(plan, &spec.write, start, last) else {
+            return Ok(false);
+        };
+
+        // -- Execution --
+        for &a in &spec.arrays {
+            self.ensure_allocated(plan, a)?;
+        }
+        let out_array = spec.write.array as usize;
+        let RunState {
+            slab,
+            syms,
+            scratch,
+            ..
+        } = self;
+        scratch.slots.clear();
+        scratch.slots.resize(spec.n_slots, 0.0);
+        for &(slot, sym) in &spec.iter_loads {
+            scratch.slots[slot as usize] = syms.vals[sym as usize] as f64;
+        }
+        for &(slot, a) in &spec.scalar_reads {
+            scratch.slots[slot as usize] =
+                slab[a as usize].as_ref().expect("allocated above").data()[0];
+        }
+        let mut out_t = slab[out_array].take().expect("allocated above");
+        {
+            let mut srcs: Vec<SpecSrc<'_>> = spec
+                .reads
+                .iter()
+                .zip(&read_flats)
+                .map(|(&(slot, ref acc), flat)| SpecSrc {
+                    slot: slot as usize,
+                    off: flat.base,
+                    step: flat.step,
+                    buf: if acc.array as usize == out_array {
+                        SrcBuf::Out
+                    } else {
+                        SrcBuf::Slab(slab[acc.array as usize].as_ref().expect("allocated").data())
+                    },
+                })
+                .collect();
+            let out = out_t.data_mut();
+            let slots = &mut scratch.slots;
+            match &spec.micro {
+                Some(m) => run_spec_loop(
+                    trip,
+                    start,
+                    &mut srcs,
+                    &spec.inner_iter_slots,
+                    slots,
+                    out,
+                    write,
+                    spec.accumulate,
+                    |slots| m.eval(slots),
+                ),
+                None => {
+                    let expr = &spec.expr;
+                    let f_regs = &mut scratch.f_regs;
+                    run_spec_loop(
+                        trip,
+                        start,
+                        &mut srcs,
+                        &spec.inner_iter_slots,
+                        slots,
+                        out,
+                        write,
+                        spec.accumulate,
+                        |slots| expr.eval(slots, f_regs),
+                    );
+                }
+            }
+        }
+        slab[out_array] = Some(out_t);
+        Ok(true)
+    }
+}
+
+/// The flat inner loop, monomorphized over the expression evaluator: load
+/// each read at its running offset (in edge order, so duplicate-slot
+/// semantics match the VM), refresh iterator slots, evaluate, write.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_spec_loop(
+    trip: usize,
+    start: i64,
+    srcs: &mut [SpecSrc<'_>],
+    inner_slots: &[u32],
+    slots: &mut [f64],
+    out: &mut [f64],
+    write: Flat,
+    accumulate: bool,
+    mut eval: impl FnMut(&[f64]) -> f64,
+) {
+    let mut woff = write.base;
+    for k in 0..trip {
+        for s in srcs.iter_mut() {
+            slots[s.slot] = match s.buf {
+                SrcBuf::Slab(d) => d[s.off as usize],
+                SrcBuf::Out => out[s.off as usize],
+            };
+            s.off += s.step;
+        }
+        if !inner_slots.is_empty() {
+            let iv = (start + k as i64) as f64;
+            for &sl in inner_slots {
+                slots[sl as usize] = iv;
+            }
+        }
+        let v = eval(slots);
+        if accumulate {
+            out[woff as usize] += v;
+        } else {
+            out[woff as usize] = v;
+        }
+        woff += write.step;
+    }
+}

@@ -61,7 +61,7 @@ pub mod tasklet;
 pub use analysis::{compute_ccs, is_full_overwrite, summarize_accesses, AccessSummary, CcsInfo};
 pub use graph::{DataflowGraph, DfNode, Edge, LibraryOp, MapScope, NodeId};
 pub use memlet::{IndexRange, Memlet, Subset, SubsetClass, Wcr};
-pub use scalar_expr::{BinOp, CompiledExpr, ExprOp, LeafRef, ScalarExpr, UnOp};
+pub use scalar_expr::{BinOp, CompiledExpr, ExprOp, LeafRef, MicroPattern, ScalarExpr, UnOp};
 pub use sdfg::{
     ArrayDesc, BranchRegion, CmpOp, CondExpr, CondOperand, ControlFlow, DType, LoopRegion, Sdfg,
     SdfgError, State,

@@ -454,6 +454,140 @@ impl CompiledExpr {
     }
 }
 
+/// A micro-kernel shape recognized in a [`CompiledExpr`] instruction
+/// sequence.  These cover the dominant tasklet bodies of the benchmark
+/// kernels (stencil sums, scaled averages, product terms) and let the
+/// runtime's specialized loops evaluate them without walking the
+/// instruction list per point.  Every pattern's [`MicroPattern::eval`]
+/// applies the *same* floating-point operations in the *same* order as
+/// [`CompiledExpr::eval`], so results are bit-identical by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MicroPattern {
+    /// `slots[src]` — a plain copy.
+    Copy {
+        /// Source slot.
+        src: u32,
+    },
+    /// `slots[a] * slots[b]` — a single product (contraction bodies).
+    MulPair {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// A left-associated sum chain `((slots[t0] + slots[t1]) + ...)`,
+    /// optionally scaled by one trailing constant (`* c` or `/ c`) — the
+    /// shape of stencil averages like `(sum of 9 points) / 9.0`.
+    SumScale {
+        /// Slots summed left-to-right.
+        terms: Vec<u32>,
+        /// Optional trailing scale: the operator (`Mul` or `Div`) and the
+        /// constant operand.
+        scale: Option<(BinOp, f64)>,
+    },
+}
+
+impl MicroPattern {
+    /// Evaluate the pattern over the slot array, applying operations in the
+    /// exact order of the compiled instruction sequence it was recognized
+    /// from.
+    #[inline]
+    pub fn eval(&self, slots: &[f64]) -> f64 {
+        match self {
+            MicroPattern::Copy { src } => slots[*src as usize],
+            MicroPattern::MulPair { a, b } => slots[*a as usize] * slots[*b as usize],
+            MicroPattern::SumScale { terms, scale } => {
+                let mut acc = slots[terms[0] as usize];
+                for &t in &terms[1..] {
+                    acc += slots[t as usize];
+                }
+                match scale {
+                    Some((BinOp::Mul, c)) => acc * c,
+                    Some((BinOp::Div, c)) => acc / c,
+                    _ => acc,
+                }
+            }
+        }
+    }
+}
+
+impl CompiledExpr {
+    /// Recognize a [`MicroPattern`] in the instruction sequence, if the
+    /// expression has one of the supported shapes.  Returns `None` for
+    /// anything else — callers fall back to [`CompiledExpr::eval`].
+    pub fn micro_pattern(&self) -> Option<MicroPattern> {
+        let ops = &self.ops;
+        // Positional single-assignment: every instruction writes the register
+        // equal to its index (guaranteed by `compile`, re-checked here so the
+        // pattern match below can reason positionally).
+        for (i, op) in ops.iter().enumerate() {
+            let dst = match *op {
+                ExprOp::Const { dst, .. }
+                | ExprOp::Slot { dst, .. }
+                | ExprOp::Un { dst, .. }
+                | ExprOp::Bin { dst, .. } => dst,
+            };
+            if dst as usize != i {
+                return None;
+            }
+        }
+        if self.result as usize != ops.len().checked_sub(1)? {
+            return None;
+        }
+        match *ops.as_slice() {
+            [ExprOp::Slot { slot, .. }] => return Some(MicroPattern::Copy { src: slot }),
+            [ExprOp::Slot { slot: sa, .. }, ExprOp::Slot { slot: sb, .. }, ExprOp::Bin {
+                op: BinOp::Mul,
+                a: 0,
+                b: 1,
+                ..
+            }] => return Some(MicroPattern::MulPair { a: sa, b: sb }),
+            _ => {}
+        }
+        // Left-associated sum chain with an optional trailing constant scale.
+        let ExprOp::Slot { slot, .. } = ops[0] else {
+            return None;
+        };
+        let mut terms = vec![slot];
+        let mut scale = None;
+        let mut acc = 0u32;
+        let mut idx = 1usize;
+        while idx < ops.len() {
+            match (ops[idx], ops.get(idx + 1)) {
+                (
+                    ExprOp::Slot { slot, .. },
+                    Some(&ExprOp::Bin {
+                        op: BinOp::Add,
+                        a,
+                        b,
+                        ..
+                    }),
+                ) if a == acc && b as usize == idx => {
+                    terms.push(slot);
+                    acc = (idx + 1) as u32;
+                    idx += 2;
+                }
+                (ExprOp::Const { value, .. }, Some(&ExprOp::Bin { op, a, b, .. }))
+                    if matches!(op, BinOp::Mul | BinOp::Div)
+                        && a == acc
+                        && b as usize == idx
+                        && idx + 2 == ops.len() =>
+                {
+                    scale = Some((op, value));
+                    idx += 2;
+                }
+                _ => return None,
+            }
+        }
+        // A bare single slot is `Copy` (matched above); a chain needs either
+        // a second term or a scale to be worth naming.
+        if terms.len() < 2 && scale.is_none() {
+            return None;
+        }
+        Some(MicroPattern::SumScale { terms, scale })
+    }
+}
+
 impl ScalarExpr {
     /// Compile the expression into a [`CompiledExpr`].
     ///
@@ -744,6 +878,124 @@ mod tests {
         assert_eq!(compiled.eval(&[5.0], &mut regs), 6.0);
         assert_eq!(regs.capacity(), cap);
         assert!(compiled.n_regs() >= compiled.ops().len());
+    }
+
+    /// Resolver mapping inputs `s0`, `s1`, ... to their numeric slot.
+    fn numbered_resolver(leaf: LeafRef<'_>) -> Option<u32> {
+        match leaf {
+            LeafRef::Input(name) => name.strip_prefix('s')?.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn left_sum(n: u32) -> ScalarExpr {
+        let mut sum = ScalarExpr::input("s0");
+        for k in 1..n {
+            sum = sum.add(ScalarExpr::input(format!("s{k}")));
+        }
+        sum
+    }
+
+    #[test]
+    fn micro_pattern_recognizes_kernel_shapes() {
+        // Plain copy.
+        let c = ScalarExpr::input("x").compile(&mut test_resolver).unwrap();
+        assert_eq!(c.micro_pattern(), Some(MicroPattern::Copy { src: 0 }));
+
+        // Contraction body: a single product.
+        let c = ScalarExpr::input("x")
+            .mul(ScalarExpr::input("y"))
+            .compile(&mut test_resolver)
+            .unwrap();
+        assert_eq!(
+            c.micro_pattern(),
+            Some(MicroPattern::MulPair { a: 0, b: 1 })
+        );
+
+        // seidel2d-shaped: nine-point sum divided by 9.0.
+        let c = left_sum(9)
+            .div(ScalarExpr::c(9.0))
+            .compile(&mut numbered_resolver)
+            .unwrap();
+        assert_eq!(
+            c.micro_pattern(),
+            Some(MicroPattern::SumScale {
+                terms: (0..9).collect(),
+                scale: Some((BinOp::Div, 9.0)),
+            })
+        );
+
+        // jacobi2d-shaped: five-point sum times 0.2.
+        let c = left_sum(5)
+            .mul(ScalarExpr::c(0.2))
+            .compile(&mut numbered_resolver)
+            .unwrap();
+        assert_eq!(
+            c.micro_pattern(),
+            Some(MicroPattern::SumScale {
+                terms: (0..5).collect(),
+                scale: Some((BinOp::Mul, 0.2)),
+            })
+        );
+
+        // Unscaled sum and single-term scale are also chains.
+        let c = left_sum(3).compile(&mut numbered_resolver).unwrap();
+        assert_eq!(
+            c.micro_pattern(),
+            Some(MicroPattern::SumScale {
+                terms: vec![0, 1, 2],
+                scale: None
+            })
+        );
+        let c = ScalarExpr::input("s0")
+            .mul(ScalarExpr::c(2.0))
+            .compile(&mut numbered_resolver)
+            .unwrap();
+        assert_eq!(
+            c.micro_pattern(),
+            Some(MicroPattern::SumScale {
+                terms: vec![0],
+                scale: Some((BinOp::Mul, 2.0))
+            })
+        );
+    }
+
+    #[test]
+    fn micro_pattern_rejects_other_shapes() {
+        let cases = [
+            ScalarExpr::bin(BinOp::Sub, ScalarExpr::input("x"), ScalarExpr::input("y")),
+            ScalarExpr::un(UnOp::Sin, ScalarExpr::input("x")),
+            // Right-associated sums are not the chain the builder emits.
+            ScalarExpr::input("x").add(ScalarExpr::input("y").add(ScalarExpr::iter("i"))),
+            // Scale in the middle of a chain, not trailing.
+            ScalarExpr::input("x")
+                .mul(ScalarExpr::c(2.0))
+                .add(ScalarExpr::input("y")),
+            ScalarExpr::c(1.5),
+        ];
+        for e in cases {
+            let c = e.compile(&mut test_resolver).unwrap();
+            assert_eq!(c.micro_pattern(), None, "unexpected pattern for {e}");
+        }
+    }
+
+    #[test]
+    fn micro_pattern_eval_is_bit_identical_to_vm() {
+        let exprs = [
+            ScalarExpr::input("s0"),
+            ScalarExpr::input("s0").mul(ScalarExpr::input("s1")),
+            left_sum(9).div(ScalarExpr::c(9.0)),
+            left_sum(5).mul(ScalarExpr::c(0.2)),
+            left_sum(4),
+        ];
+        let slots: Vec<f64> = (0..9).map(|k| 0.1 + 0.7 * k as f64).collect();
+        for e in exprs {
+            let c = e.compile(&mut numbered_resolver).unwrap();
+            let pat = c.micro_pattern().expect("pattern expected");
+            let mut regs = Vec::new();
+            let vm = c.eval(&slots, &mut regs);
+            assert_eq!(pat.eval(&slots).to_bits(), vm.to_bits(), "{e}");
+        }
     }
 }
 

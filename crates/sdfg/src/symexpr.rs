@@ -284,6 +284,62 @@ impl SymExpr {
     pub fn is_const(&self, v: i64) -> bool {
         matches!(self, SymExpr::Int(x) if *x == v)
     }
+
+    /// Decompose the expression as an affine function of one symbol:
+    /// `self == coeff * var + rest`, where `rest` does not reference `var`.
+    ///
+    /// Returns `None` when the expression is not affine in `var` (e.g. `var`
+    /// under `Div`/`Rem`/`Min`/`Max`, or `var * var`).  Expressions that do
+    /// not reference `var` at all decompose as `(0, self)`.  This is the
+    /// memlet-shape analysis behind the runtime's specialized kernel tier:
+    /// an element subset whose every dimension is affine in the innermost
+    /// iteration variable can be walked with a precomputed flat stride.
+    pub fn affine_in(&self, var: &str) -> Option<(i64, SymExpr)> {
+        use SymExpr::*;
+        match self {
+            Int(v) => Some((0, Int(*v))),
+            Sym(s) => {
+                if s == var {
+                    Some((1, Int(0)))
+                } else {
+                    Some((0, Sym(s.clone())))
+                }
+            }
+            Add(a, b) => {
+                let (ka, ra) = a.affine_in(var)?;
+                let (kb, rb) = b.affine_in(var)?;
+                Some((ka.checked_add(kb)?, ra.add(&rb)))
+            }
+            Sub(a, b) => {
+                let (ka, ra) = a.affine_in(var)?;
+                let (kb, rb) = b.affine_in(var)?;
+                Some((ka.checked_sub(kb)?, ra.sub(&rb)))
+            }
+            Mul(a, b) => {
+                let (ka, ra) = a.affine_in(var)?;
+                let (kb, rb) = b.affine_in(var)?;
+                // Affine only when at least one factor is a constant
+                // (otherwise the product is quadratic in `var`).
+                match (&ra, &rb) {
+                    _ if ka == 0 && kb == 0 => Some((0, ra.mul(&rb))),
+                    (Int(c), _) if ka == 0 => Some((c.checked_mul(kb)?, ra.mul(&rb))),
+                    (_, Int(c)) if kb == 0 => Some((c.checked_mul(ka)?, ra.mul(&rb))),
+                    _ => None,
+                }
+            }
+            Neg(a) => {
+                let (ka, ra) = a.affine_in(var)?;
+                Some((ka.checked_neg()?, SymExpr::Neg(Box::new(ra)).simplified()))
+            }
+            Div(..) | Rem(..) | Min(..) | Max(..) => {
+                if self.references(var) {
+                    None
+                } else {
+                    Some((0, self.clone()))
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for SymExpr {
@@ -391,6 +447,41 @@ mod tests {
     }
 
     #[test]
+    fn affine_decomposition() {
+        // j - 1 + dj  ->  1*j + (dj - 1)
+        let e = SymExpr::sym("j")
+            .sub(&SymExpr::int(1))
+            .add(&SymExpr::sym("dj"));
+        let (k, rest) = e.affine_in("j").unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(rest.eval(&bind(&[("dj", 2)])).unwrap(), 1);
+        // 3*i - N  ->  3*i + (-N)
+        let e = SymExpr::int(3)
+            .mul(&SymExpr::sym("i"))
+            .sub(&SymExpr::sym("N"));
+        let (k, rest) = e.affine_in("i").unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(rest.eval(&bind(&[("N", 7)])).unwrap(), -7);
+        // Expressions without the variable decompose with coefficient 0.
+        let e = SymExpr::sym("N").add_int(1);
+        assert_eq!(e.affine_in("i").unwrap().0, 0);
+        // Non-affine shapes are rejected.
+        let sq = SymExpr::sym("i").mul(&SymExpr::sym("i"));
+        assert!(sq.affine_in("i").is_none());
+        let div = SymExpr::Div(Box::new(SymExpr::sym("i")), Box::new(SymExpr::int(2)));
+        assert!(div.affine_in("i").is_none());
+        // N*i is affine in i (symbolic coefficients are not supported, only
+        // literal ones, so this must be rejected too).
+        let ni = SymExpr::sym("N").mul(&SymExpr::sym("i"));
+        assert!(ni.affine_in("i").is_none());
+        // -(i + 1)  ->  -1*i + (-1)
+        let e = SymExpr::Neg(Box::new(SymExpr::sym("i").add_int(1)));
+        let (k, rest) = e.affine_in("i").unwrap();
+        assert_eq!(k, -1);
+        assert_eq!(rest.eval_const().unwrap(), -1);
+    }
+
+    #[test]
     fn euclidean_semantics_for_negative_operands() {
         let e = SymExpr::Rem(Box::new(SymExpr::Int(-7)), Box::new(SymExpr::Int(3)));
         assert_eq!(e.eval_const().unwrap(), 2);
@@ -436,6 +527,21 @@ mod proptests {
             let original = e.eval(&bindings);
             let simplified = e.simplified().eval(&bindings);
             prop_assert_eq!(original, simplified);
+        }
+
+        /// Whenever `affine_in` decomposes an expression, the decomposition
+        /// must evaluate identically to the original at every binding.
+        #[test]
+        fn affine_decomposition_is_exact(e in arb_expr(4), n in -10i64..10, m in -10i64..10) {
+            let mut bindings = HashMap::new();
+            bindings.insert("N".to_string(), n);
+            bindings.insert("M".to_string(), m);
+            if let Some((k, rest)) = e.affine_in("N") {
+                prop_assert!(!rest.references("N"));
+                let direct = e.eval(&bindings);
+                let recomposed = rest.eval(&bindings).map(|r| k * n + r);
+                prop_assert_eq!(direct, recomposed);
+            }
         }
 
         /// Substituting a symbol with a constant equals binding it.

@@ -47,7 +47,9 @@ fn main() {
     println!("forward serving: {n_items} requests over one compiled plan");
     println!(
         "  {:.0} items/sec on {} worker(s), {} tasklet evals total",
-        out.report.items_per_sec, out.report.workers, out.report.total_tasklet_invocations
+        out.report.items_per_sec.unwrap_or(f64::NAN),
+        out.report.workers,
+        out.report.total_tasklet_invocations
     );
     println!(
         "  plan cache: {} hit(s), {} miss(es) — lowered once, shared by every session",
@@ -74,7 +76,9 @@ fn main() {
     );
     println!(
         "  {:.0} items/sec on {} worker(s); gradient program lowered {} time(s)",
-        batch.batch.items_per_sec, batch.batch.workers, batch.batch.plan_cache.misses
+        batch.batch.items_per_sec.unwrap_or(f64::NAN),
+        batch.batch.workers,
+        batch.batch.plan_cache.misses
     );
 
     // Batched results are bit-identical to serial engine runs.

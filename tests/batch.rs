@@ -344,7 +344,10 @@ fn empty_batch_is_a_no_op() {
     assert_eq!(out.report.items, 0);
     assert_eq!(out.report.succeeded, 0);
     assert_eq!(out.report.failed, 0);
-    assert_eq!(out.report.items_per_sec, 0.0);
+    assert_eq!(
+        out.report.items_per_sec, None,
+        "an empty batch has no throughput figure, not a fake zero"
+    );
     assert_eq!(out.report.total_tasklet_invocations, 0);
     assert_eq!(driver.sessions_created(), 0);
 

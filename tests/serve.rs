@@ -437,3 +437,126 @@ fn engine_serve_matches_blocking_run() {
     assert_eq!(stats.completed, 5);
     assert_eq!(stats.expired, 1);
 }
+
+/// Conservation stress: while submitter threads race plain submissions,
+/// tight deadlines and cancellations against the dispatcher, a sampler
+/// thread takes `stats()` snapshots continuously.  The request-conservation
+/// invariant
+///
+/// `admitted == queue_depth + in_flight + completed + failed + cancelled
+///             + expired + rejected`
+///
+/// must hold on *every* snapshot — a torn snapshot (counters read at
+/// different instants) shows up here as a transient imbalance.
+#[test]
+fn stats_snapshots_conserve_requests_under_load() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 12;
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let server = ServeDriver::with_options(
+        program,
+        ServeOptions {
+            max_batch: 3,
+            max_wait: Duration::from_millis(1),
+            workers: 0,
+        },
+    );
+
+    let check = |stats: &ServeStats, when: &str| {
+        let accounted = stats.queue_depth as u64
+            + stats.in_flight
+            + stats.completed
+            + stats.failed
+            + stats.cancelled
+            + stats.expired
+            + stats.rejected;
+        assert_eq!(
+            stats.admitted,
+            accounted,
+            "torn snapshot ({when}): admitted {} != accounted {accounted} \
+             (queued {} + in-flight {} + completed {} + failed {} + \
+             cancelled {} + expired {} + rejected {})",
+            stats.admitted,
+            stats.queue_depth,
+            stats.in_flight,
+            stats.completed,
+            stats.failed,
+            stats.cancelled,
+            stats.expired,
+            stats.rejected,
+        );
+    };
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Sampler: hammer `stats()` for the whole run, checking every
+        // snapshot.  A coherent implementation never shows an imbalance,
+        // however the sample interleaves with lifecycle transitions.
+        let sampler = {
+            let server = &server;
+            let done = &done;
+            scope.spawn(move || {
+                let mut samples = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    check(&server.stats(), "during load");
+                    samples += 1;
+                }
+                samples
+            })
+        };
+
+        let submitters: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let idx = t * PER_THREAD + i;
+                        // Mix the lifecycle paths: zero budgets expire at
+                        // admission, 1 ms budgets may expire in the queue or
+                        // complete, the rest are plain; every fifth
+                        // race-cancels.
+                        let handle = match idx % 3 {
+                            0 => server.submit_with_deadline(item(idx), &["Y"], Duration::ZERO),
+                            1 => server.submit_with_deadline(
+                                item(idx),
+                                &["Y"],
+                                Duration::from_millis(1),
+                            ),
+                            _ => server.submit(item(idx), &["Y"]),
+                        };
+                        if idx.is_multiple_of(5) {
+                            handle.cancel();
+                        }
+                        // Every terminal outcome is legal here; waiting
+                        // keeps the handles resolved so the final snapshot
+                        // is total.
+                        match handle.wait() {
+                            Ok(_)
+                            | Err(ServeError::Cancelled)
+                            | Err(ServeError::DeadlineExceeded { .. }) => {}
+                            Err(e) => panic!("request {idx} failed unexpectedly: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for submitter in submitters {
+            submitter.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let samples = sampler.join().unwrap();
+        assert!(samples > 0, "the sampler must have observed the run");
+    });
+
+    // Quiescent snapshot: everything admitted reached a terminal state.
+    let stats = server.stats();
+    check(&stats, "at quiescence");
+    assert_eq!(stats.admitted, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.queue_depth, 0, "no request may remain queued");
+    assert_eq!(stats.in_flight, 0, "no request may remain in flight");
+    assert_eq!(stats.failed, 0);
+}
