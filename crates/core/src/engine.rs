@@ -18,8 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dace_runtime::{
-    compile, BatchDriver, BatchReport, CompiledProgram, ExecutionReport, RequestHandle,
-    RuntimeError, ServeDriver, ServeError, ServeOptions, ServeResponse, ServeStats, Session,
+    compile, BatchDriver, BatchReport, CompiledProgram, ExecutionReport, Gateway, GatewayError,
+    GatewayHandle, RequestHandle, RuntimeError, ServeDriver, ServeError, ServeOptions,
+    ServeResponse, ServeStats, Session, SubmitOptions, TenantConfig, TenantStats,
 };
 use dace_sdfg::Sdfg;
 use dace_tensor::Tensor;
@@ -61,6 +62,10 @@ pub enum EngineError {
     /// errors of served requests surface as [`EngineError::Runtime`]
     /// instead.
     Serve(ServeError),
+    /// A gateway-level call failed (unknown or duplicate tenant, gateway
+    /// shutting down).  Per-request serving outcomes still surface as
+    /// [`EngineError::Serve`] / [`EngineError::Runtime`].
+    Gateway(GatewayError),
 }
 
 impl fmt::Display for EngineError {
@@ -82,6 +87,7 @@ impl fmt::Display for EngineError {
                 write!(f, "batch item {index} panicked: {message}")
             }
             EngineError::Serve(e) => write!(f, "serve error: {e}"),
+            EngineError::Gateway(e) => write!(f, "gateway error: {e}"),
         }
     }
 }
@@ -97,6 +103,12 @@ impl From<AdError> for EngineError {
 impl From<RuntimeError> for EngineError {
     fn from(e: RuntimeError) -> Self {
         EngineError::Runtime(e)
+    }
+}
+
+impl From<GatewayError> for EngineError {
+    fn from(e: GatewayError) -> Self {
+        EngineError::Gateway(e)
     }
 }
 
@@ -304,6 +316,7 @@ impl GradientEngine {
             sessions_created: driver.sessions_created(),
             sessions_reused: driver.sessions_reused(),
             pooled_sessions: driver.pooled_sessions(),
+            sessions_discarded: driver.sessions_discarded(),
         };
         Ok(BatchGradientResult { items, batch })
     }
@@ -340,45 +353,94 @@ impl GradientEngine {
     /// concurrently.
     pub fn serve(&mut self) -> GradientServer {
         if self.server.is_none() {
-            let mut driver = BatchDriver::new(self.gradient.program().clone());
-            driver.set_free_hints(&self.plan.free_hints);
-            let serve = ServeDriver::over(driver, self.serve_options.clone());
-            let fetch: Vec<String> = std::iter::once(self.plan.output.clone())
-                .chain(self.plan.inputs.iter().filter_map(|input| {
-                    self.plan
-                        .gradients
-                        .get(input)
-                        .filter(|g| self.plan.sdfg.arrays.contains_key(*g))
-                        .cloned()
-                }))
-                .collect();
+            let serve = ServeDriver::over(self.build_batch_driver(), self.serve_options.clone());
             self.server = Some(GradientServer {
                 driver: Arc::new(serve),
-                meta: Arc::new(GradientServeMeta {
-                    transient: self
-                        .plan
-                        .sdfg
-                        .arrays
-                        .iter()
-                        .map(|(name, desc)| (name.clone(), desc.transient))
-                        .collect(),
-                    output: self.plan.output.clone(),
-                    gradients: self
-                        .plan
-                        .inputs
-                        .iter()
-                        .filter_map(|input| {
-                            self.plan
-                                .gradients
-                                .get(input)
-                                .map(|g| (input.clone(), g.clone()))
-                        })
-                        .collect(),
-                    fetch,
-                }),
+                meta: Arc::new(self.build_serve_meta()),
             });
         }
         self.server.clone().expect("server was just built")
+    }
+
+    /// A fresh [`BatchDriver`] over the cached gradient program, carrying
+    /// the plan's recomputation free hints — the execution substrate shared
+    /// by [`GradientEngine::serve`] and [`GradientEngine::register_with`].
+    fn build_batch_driver(&self) -> BatchDriver {
+        let mut driver = BatchDriver::new(self.gradient.program().clone());
+        driver.set_free_hints(&self.plan.free_hints);
+        driver
+    }
+
+    /// The name-resolution metadata served handles need to turn fetched
+    /// arrays back into [`GradientResult`]s.
+    fn build_serve_meta(&self) -> GradientServeMeta {
+        let fetch: Vec<String> = std::iter::once(self.plan.output.clone())
+            .chain(self.plan.inputs.iter().filter_map(|input| {
+                self.plan
+                    .gradients
+                    .get(input)
+                    .filter(|g| self.plan.sdfg.arrays.contains_key(*g))
+                    .cloned()
+            }))
+            .collect();
+        GradientServeMeta {
+            transient: self
+                .plan
+                .sdfg
+                .arrays
+                .iter()
+                .map(|(name, desc)| (name.clone(), desc.transient))
+                .collect(),
+            output: self.plan.output.clone(),
+            gradients: self
+                .plan
+                .inputs
+                .iter()
+                .filter_map(|input| {
+                    self.plan
+                        .gradients
+                        .get(input)
+                        .map(|g| (input.clone(), g.clone()))
+                })
+                .collect(),
+            fetch,
+        }
+    }
+
+    /// Register this engine's gradient program as tenant `tenant` on a
+    /// shared multi-tenant [`Gateway`], returning a cloneable
+    /// [`GatewayGradientClient`] for submitting gradient requests through
+    /// it.
+    ///
+    /// Unlike the engine-private [`GradientEngine::serve`] server, the
+    /// gateway is shared across engines/programs and adds bounded
+    /// admission, weighted fair scheduling, retries, circuit breaking and
+    /// graceful reload (see [`dace_runtime::gateway`]).  The registered
+    /// driver carries the plan's recomputation free hints, so served
+    /// results stay bit-identical to [`GradientEngine::run`].
+    pub fn register_with(
+        &self,
+        gateway: &Arc<Gateway>,
+        tenant: &str,
+        config: TenantConfig,
+    ) -> Result<GatewayGradientClient, EngineError> {
+        gateway.register_driver(tenant, self.build_batch_driver(), config)?;
+        Ok(GatewayGradientClient {
+            gateway: Arc::clone(gateway),
+            tenant: tenant.to_string(),
+            meta: Arc::new(self.build_serve_meta()),
+        })
+    }
+
+    /// Hot-swap tenant `tenant`'s compiled plan on a shared [`Gateway`]
+    /// with a fresh driver built from this engine (see
+    /// [`Gateway::reload`]): the call blocks until requests in flight on
+    /// the old plan have drained, while queued and new admissions land on
+    /// the reloaded one.  Existing [`GatewayGradientClient`]s keep working
+    /// across the swap as long as the program's array names are unchanged.
+    pub fn reload_into(&self, gateway: &Gateway, tenant: &str) -> Result<(), EngineError> {
+        gateway.reload_driver(tenant, self.build_batch_driver())?;
+        Ok(())
     }
 
     /// [`GradientEngine::serve`] with explicit admission-queue options.
@@ -584,6 +646,142 @@ impl GradientHandle {
 
     /// Best-effort cancellation: succeeds only while the request is still
     /// queued (see [`dace_runtime::RequestHandle::cancel`]).
+    pub fn cancel(&self) -> bool {
+        self.inner.cancel()
+    }
+}
+
+/// Cloneable client for one tenant of a shared multi-tenant
+/// [`Gateway`] (obtained from [`GradientEngine::register_with`]).
+///
+/// The gateway equivalent of [`GradientServer`]: submissions validate
+/// input names synchronously, execution is asynchronous, and handles
+/// deliver [`ServedGradient`]s bit-identical to [`GradientEngine::run`].
+/// On top, the gateway's robustness semantics apply — a submission may
+/// resolve with [`dace_runtime::ServeError::Overloaded`] or
+/// [`dace_runtime::ServeError::Degraded`] (as [`EngineError::Serve`]), and
+/// idempotent requests are retried across injected or real panics.
+#[derive(Clone)]
+pub struct GatewayGradientClient {
+    gateway: Arc<Gateway>,
+    tenant: String,
+    meta: Arc<GradientServeMeta>,
+}
+
+impl std::fmt::Debug for GatewayGradientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayGradientClient")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl GatewayGradientClient {
+    /// The tenant name this client submits to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The shared gateway behind this client.
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// Submit one gradient request with default [`SubmitOptions`]
+    /// (no deadline, idempotent — a pure gradient evaluation is safe to
+    /// retry).
+    pub fn submit(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<GatewayGradientHandle, EngineError> {
+        self.submit_with(inputs, SubmitOptions::default())
+    }
+
+    /// [`GatewayGradientClient::submit`] with an explicit deadline /
+    /// idempotence policy.  Input names are validated immediately, exactly
+    /// like [`GradientServer::submit`].
+    pub fn submit_with(
+        &self,
+        inputs: &HashMap<String, Tensor>,
+        opts: SubmitOptions,
+    ) -> Result<GatewayGradientHandle, EngineError> {
+        let mut bound = HashMap::with_capacity(inputs.len());
+        for (name, tensor) in inputs {
+            match self.meta.transient.get(name) {
+                None => return Err(EngineError::UnknownInput(name.clone())),
+                Some(true) => {} // recomputed by the program itself
+                Some(false) => {
+                    bound.insert(name.clone(), tensor.clone());
+                }
+            }
+        }
+        let fetch: Vec<&str> = self.meta.fetch.iter().map(String::as_str).collect();
+        let inner = self
+            .gateway
+            .submit_with(&self.tenant, bound, &fetch, opts)?;
+        Ok(GatewayGradientHandle {
+            inner,
+            meta: Arc::clone(&self.meta),
+        })
+    }
+
+    /// This tenant's slice of the gateway's coherent stats snapshot.
+    pub fn stats(&self) -> Option<TenantStats> {
+        self.gateway.stats().tenants.remove(&self.tenant)
+    }
+}
+
+/// Handle to one gradient request submitted through a gateway (see
+/// [`GatewayGradientClient`]).  Mirrors [`GradientHandle`], plus a bounded
+/// [`GatewayGradientHandle::wait_timeout`].
+#[derive(Debug)]
+pub struct GatewayGradientHandle {
+    inner: GatewayHandle,
+    meta: Arc<GradientServeMeta>,
+}
+
+impl GatewayGradientHandle {
+    /// Monotonic id of this request (unique per gateway).
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Whether a result (or rejection) is available.
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Block until the request completes and take its result.  Error
+    /// mapping matches [`GradientHandle::wait`].
+    pub fn wait(self) -> Result<ServedGradient, EngineError> {
+        let meta = Arc::clone(&self.meta);
+        match self.inner.wait() {
+            Ok(response) => gradient_result_from_response(&meta, response),
+            Err(e) => Err(engine_error_from_serve(e)),
+        }
+    }
+
+    /// Non-blocking poll: `Some(result)` once completed (repeatable),
+    /// `None` while pending.
+    pub fn try_wait(&self) -> Option<Result<ServedGradient, EngineError>> {
+        self.inner.try_wait().map(|polled| match polled {
+            Ok(response) => gradient_result_from_response(&self.meta, response),
+            Err(e) => Err(engine_error_from_serve(e)),
+        })
+    }
+
+    /// Bounded blocking wait (see
+    /// [`dace_runtime::GatewayHandle::wait_timeout`]): `None` on timeout
+    /// with the handle fully usable, `Some(result)` once completed.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServedGradient, EngineError>> {
+        self.inner.wait_timeout(timeout).map(|polled| match polled {
+            Ok(response) => gradient_result_from_response(&self.meta, response),
+            Err(e) => Err(engine_error_from_serve(e)),
+        })
+    }
+
+    /// Best-effort cancellation: succeeds only while queued — including a
+    /// retry awaiting its backoff.
     pub fn cancel(&self) -> bool {
         self.inner.cancel()
     }

@@ -80,12 +80,16 @@ pub mod reverse;
 
 pub use checkpoint::{CheckpointReport, RecomputeCandidate};
 pub use engine::{
-    BatchGradientResult, EngineError, GradientEngine, GradientHandle, GradientResult,
-    GradientServer, ServedGradient,
+    BatchGradientResult, EngineError, GatewayGradientClient, GatewayGradientHandle, GradientEngine,
+    GradientHandle, GradientResult, GradientServer, ServedGradient,
 };
-// The serving-layer vocabulary of `GradientEngine::serve`, re-exported so
-// AD-level callers need no direct `dace-runtime` dependency.
-pub use dace_runtime::{ServeError, ServeOptions, ServeStats};
+// The serving-layer vocabulary of `GradientEngine::serve` /
+// `GradientEngine::register_with`, re-exported so AD-level callers need no
+// direct `dace-runtime` dependency.
+pub use dace_runtime::{
+    BreakerState, FaultPlan, Gateway, GatewayError, GatewayOptions, GatewayStats, ServeError,
+    ServeOptions, ServeStats, SubmitOptions, TenantConfig, TenantStats,
+};
 pub use reverse::{generate_backward, AdError, BackwardPlan};
 
 /// Strategy for the store-vs-recompute (re-materialisation) trade-off.

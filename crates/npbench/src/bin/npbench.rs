@@ -28,13 +28,28 @@
 //!         [--max-wait-ms W] [--kernel atax,jacobi2d] [--preset test]
 //! ```
 //!
+//! Gateway mode (`--gateway CLIENTS`) is the multi-tenant chaos smoke: every
+//! selected kernel registers as a tenant on one shared `Gateway`, `CLIENTS`
+//! threads submit round-robin across tenants (every third request carries
+//! the `--deadline-ms` deadline) while faults (`--inject-panic-every`,
+//! `--inject-delay-ms`) and concurrent hot-swaps (`--reloads`) hammer the
+//! dispatch path.  The process exits non-zero if any handle is lost, any
+//! completed gradient diverges from the serial reference, or any stats
+//! snapshot violates counter conservation:
+//!
+//! ```text
+//! npbench --gateway 8 --requests 12 --kernel atax,jacobi2d --preset test \
+//!         --inject-panic-every 7 --inject-delay-ms 1 --deadline-ms 500 \
+//!         --queue-cap 32 --reloads 2
+//! ```
+//!
 //! See `docs/benchmarking.md` and `docs/serving.md` for the measurement
 //! methodology.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use npbench::runner::{time_batch, time_dace, time_jax, time_serve};
+use npbench::runner::{time_batch, time_dace, time_gateway, time_jax, time_serve, GatewayLoad};
 use npbench::{all_kernels, kernel_by_name, Kernel, Preset};
 
 struct Args {
@@ -48,6 +63,12 @@ struct Args {
     deadline_ms: Option<f64>,
     max_batch: usize,
     max_wait_ms: f64,
+    gateway: Option<usize>,
+    queue_cap: usize,
+    retry_budget: u32,
+    inject_panic_every: Option<u64>,
+    inject_delay_ms: f64,
+    reloads: usize,
 }
 
 const USAGE: &str = "\
@@ -67,13 +88,32 @@ Options:
                            kernel at RPS submissions/sec (0 = unpaced)
                            through GradientEngine::serve; exits non-zero
                            on any lost/failed/unexpectedly expired request
-  --requests N             serve mode: requests per kernel (default: 64)
+  --requests N             requests per kernel (serve mode) or per client
+                           (gateway mode) (default: 64)
   --deadline-ms D          serve mode: per-request deadline in milliseconds
-                           (default: none; expiries are then allowed)
+                           (default: none; expiries are then allowed);
+                           gateway mode: deadline on every third request
   --max-batch B            serve mode: admission-queue batch bound
                            (default: 8)
   --max-wait-ms W          serve mode: admission-queue linger window in
                            milliseconds (default: 2)
+  --gateway CLIENTS        multi-tenant chaos mode: register every selected
+                           kernel as a tenant on one shared Gateway and
+                           hammer it from CLIENTS threads (--requests per
+                           client, round-robin across tenants; every third
+                           request carries --deadline-ms); exits non-zero
+                           on any lost handle, mismatched result or torn
+                           stats snapshot
+  --queue-cap N            gateway mode: per-tenant admission-queue
+                           capacity (default: 32)
+  --retry-budget N         gateway mode: retries per idempotent request hit
+                           by an infrastructure fault (default: 2)
+  --inject-panic-every K   gateway mode: panic on every K-th dispatch of
+                           every tenant (default: no panics)
+  --inject-delay-ms D      gateway mode: artificial per-item dispatch
+                           latency in milliseconds (default: 0)
+  --reloads N              gateway mode: concurrent plan hot-swaps during
+                           the storm (default: 2)
   --help                   print this message
 ";
 
@@ -89,6 +129,12 @@ fn parse_args() -> Result<Option<Args>, String> {
         deadline_ms: None,
         max_batch: 8,
         max_wait_ms: 2.0,
+        gateway: None,
+        queue_cap: 32,
+        retry_budget: 2,
+        inject_panic_every: None,
+        inject_delay_ms: 0.0,
+        reloads: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -161,6 +207,46 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.max_wait_ms = need(i)?
                     .parse()
                     .map_err(|e| format!("bad --max-wait-ms value: {e}"))?;
+                i += 2;
+            }
+            "--gateway" => {
+                args.gateway = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --gateway value: {e}"))?,
+                );
+                i += 2;
+            }
+            "--queue-cap" => {
+                args.queue_cap = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap value: {e}"))?;
+                i += 2;
+            }
+            "--retry-budget" => {
+                args.retry_budget = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-budget value: {e}"))?;
+                i += 2;
+            }
+            "--inject-panic-every" => {
+                args.inject_panic_every = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --inject-panic-every value: {e}"))?,
+                );
+                i += 2;
+            }
+            "--inject-delay-ms" => {
+                args.inject_delay_ms = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --inject-delay-ms value: {e}"))?;
+                i += 2;
+            }
+            "--reloads" => {
+                args.reloads = need(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --reloads value: {e}"))?;
                 i += 2;
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -257,8 +343,8 @@ fn run_serve(
         },
     );
     println!(
-        "{:<12} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7}",
-        "kernel", "done", "expd", "lost", "rps", "req [ms]", "p50 [ms]", "p95 [ms]", "batch"
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "kernel", "done", "expd", "rej", "lost", "rps", "req [ms]", "p50 [ms]", "p95 [ms]", "batch"
     );
     let mut bad = 0usize;
     for kernel in kernels {
@@ -274,10 +360,11 @@ fn run_serve(
         )
         .map_err(|e| format!("{}: {e}", kernel.name()))?;
         println!(
-            "{:<12} {:>6} {:>6} {:>6} {:>10.1} {:>10.3} {:>10.3} {:>10.3} {:>7}",
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>10.1} {:>10.3} {:>10.3} {:>10.3} {:>7}",
             kernel.name(),
             t.completed,
             t.expired,
+            t.rejected,
             t.lost,
             t.achieved_rps,
             t.per_request_ms,
@@ -294,6 +381,120 @@ fn run_serve(
     if bad > 0 {
         return Err(format!(
             "{bad} kernel(s) lost, failed or unexpectedly expired requests"
+        ));
+    }
+    Ok(())
+}
+
+fn run_gateway(kernels: &[Box<dyn Kernel>], preset: Preset, args: &Args) -> Result<(), String> {
+    let load = GatewayLoad {
+        clients: args.gateway.unwrap_or(6),
+        requests_per_client: args.requests,
+        deadline: args.deadline_ms.map(|d| Duration::from_secs_f64(d / 1e3)),
+        queue_capacity: args.queue_cap,
+        retry_budget: args.retry_budget,
+        max_batch: args.max_batch,
+        max_wait: Duration::from_secs_f64(args.max_wait_ms.max(0.0) / 1e3),
+        inject_panic_every: args.inject_panic_every,
+        inject_delay: Duration::from_secs_f64(args.inject_delay_ms.max(0.0) / 1e3),
+        reloads: args.reloads,
+    };
+    println!(
+        "gateway chaos: {} tenant(s), {} client(s) x {} request(s), \
+         queue_cap={}, retry_budget={}, reloads={}{}{}{}",
+        kernels.len(),
+        load.clients.max(1),
+        load.requests_per_client,
+        load.queue_capacity,
+        load.retry_budget,
+        load.reloads,
+        match load.inject_panic_every {
+            Some(k) => format!(", panic every {k} dispatches"),
+            None => String::new(),
+        },
+        if load.inject_delay > Duration::ZERO {
+            format!(", +{:.1}ms/item", load.inject_delay.as_secs_f64() * 1e3)
+        } else {
+            String::new()
+        },
+        match args.deadline_ms {
+            Some(d) => format!(", deadline={d}ms on every 3rd request"),
+            None => String::new(),
+        },
+    );
+    let t = time_gateway(kernels, preset, &load)?;
+    println!(
+        "submitted {} | completed {} | shed {} | expired {} | failed {} | \
+         lost {} | mismatched {} | torn {}/{} snapshots | {:.1} done/s over {:.0}ms",
+        t.submitted,
+        t.completed,
+        t.shed,
+        t.expired,
+        t.failed,
+        t.lost,
+        t.mismatched,
+        t.torn_snapshots,
+        t.samples,
+        t.achieved_rps,
+        t.elapsed.as_secs_f64() * 1e3,
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {:>5} {:>9}",
+        "tenant",
+        "done",
+        "shed",
+        "expd",
+        "fail",
+        "retry",
+        "panic",
+        "chkf",
+        "trips",
+        "breaker",
+        "batch",
+        "p50 [ms]"
+    );
+    let mut residue = 0usize;
+    for (name, s) in &t.stats.tenants {
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {:>5} {:>9.3}",
+            name,
+            s.completed,
+            s.overloaded + s.degraded,
+            s.expired,
+            s.failed,
+            s.retried,
+            s.panics,
+            s.checkout_failures,
+            s.breaker_trips,
+            s.breaker.to_string(),
+            s.largest_batch,
+            s.p50_latency.as_secs_f64() * 1e3,
+        );
+        residue += s.queue_depth + s.in_flight as usize;
+    }
+    // The chaos contract the CI smoke leg enforces: every handle resolves
+    // exactly once with a typed outcome, completed results are bit-exact,
+    // and every sampled snapshot (plus the final one) conserves.
+    let mut violations = Vec::new();
+    if t.lost > 0 {
+        violations.push(format!("{} lost handle(s)", t.lost));
+    }
+    if t.mismatched > 0 {
+        violations.push(format!("{} mismatched result(s)", t.mismatched));
+    }
+    if t.torn_snapshots > 0 {
+        violations.push(format!("{} torn stats snapshot(s)", t.torn_snapshots));
+    }
+    if !t.conserved {
+        violations.push("final snapshot violates conservation".to_string());
+    }
+    if residue > 0 {
+        violations.push(format!("{residue} request(s) still queued/in flight"));
+    }
+    if !violations.is_empty() {
+        return Err(format!(
+            "gateway contract violated: {}",
+            violations.join("; ")
         ));
     }
     Ok(())
@@ -319,7 +520,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = if let Some(rps) = args.serve {
+    let result = if args.gateway.is_some() {
+        run_gateway(&kernels, args.preset, &args)
+    } else if let Some(rps) = args.serve {
         run_serve(
             &kernels,
             args.preset,

@@ -1,12 +1,16 @@
 //! Helpers for running kernels through the DaCe AD pipeline.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dace_ad::{AdOptions, GradientEngine, ServeOptions};
+use dace_ad::{
+    AdOptions, EngineError, FaultPlan, Gateway, GatewayOptions, GatewayStats, GradientEngine,
+    ServeError, ServeOptions, SubmitOptions, TenantConfig,
+};
 use dace_tensor::Tensor;
 
-use crate::{GradOutput, Kernel, Sizes};
+use crate::{GradOutput, Kernel, Preset, Sizes};
 
 /// Run the DaCe AD side of a kernel (store-all strategy) and return the
 /// gradients of its `wrt` inputs.
@@ -218,6 +222,10 @@ pub struct ServeTiming {
     pub max_ms: f64,
     /// Largest number of requests one dispatch coalesced (server lifetime).
     pub largest_batch: usize,
+    /// Requests refused at admission over the server lifetime (today only
+    /// post-shutdown submissions) — surfaced so overload shedding is
+    /// visible in `npbench --serve` output.
+    pub rejected: u64,
     /// Raw per-request latencies (ms) of the best repetition, for callers
     /// that aggregate percentiles across kernels (`record_baseline`).
     pub latencies_ms: Vec<f64>,
@@ -332,6 +340,7 @@ pub fn time_serve(
             p95_ms: percentile_ms(&latencies_ms, 0.95),
             max_ms: latencies_ms.last().copied().unwrap_or(0.0),
             largest_batch: server.stats().largest_batch,
+            rejected: server.stats().rejected,
             latencies_ms,
         };
         let better = best
@@ -343,6 +352,302 @@ pub fn time_serve(
         }
     }
     Ok(best.expect("at least one repetition ran"))
+}
+
+/// Load shape of one [`time_gateway`] chaos run.
+#[derive(Clone, Debug)]
+pub struct GatewayLoad {
+    /// Concurrent client threads (clamped to >= 1).
+    pub clients: usize,
+    /// Requests each client submits (round-robin across tenants).
+    pub requests_per_client: usize,
+    /// Deadline attached to every third request (the rest are unbounded).
+    pub deadline: Option<Duration>,
+    /// Per-tenant admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Retry budget for idempotent requests hit by infrastructure faults.
+    pub retry_budget: u32,
+    /// Admission bound per dispatch.
+    pub max_batch: usize,
+    /// Admission linger window.
+    pub max_wait: Duration,
+    /// Inject a dispatch panic on every k-th dispatch of every tenant.
+    pub inject_panic_every: Option<u64>,
+    /// Inject this much artificial latency into every dispatched item.
+    pub inject_delay: Duration,
+    /// Concurrent plan hot-swaps performed while the load runs.
+    pub reloads: usize,
+}
+
+impl Default for GatewayLoad {
+    fn default() -> Self {
+        GatewayLoad {
+            clients: 6,
+            requests_per_client: 16,
+            deadline: None,
+            queue_capacity: 32,
+            retry_budget: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            inject_panic_every: None,
+            inject_delay: Duration::ZERO,
+            reloads: 0,
+        }
+    }
+}
+
+/// Outcome of one [`time_gateway`] chaos run.  The exactly-once contract
+/// shows up as `lost == 0`; bit-exactness as `mismatched == 0`; snapshot
+/// coherence as `torn_snapshots == 0` — the `npbench --gateway` smoke gate
+/// exits non-zero if any of them is violated.
+#[derive(Clone, Debug)]
+pub struct GatewayTiming {
+    /// Registered tenants (one per selected kernel).
+    pub tenants: usize,
+    /// Client threads that generated the load.
+    pub clients: usize,
+    /// Total requests submitted across all clients.
+    pub submitted: usize,
+    /// Requests that completed with a gradient bit-identical to the serial
+    /// reference.
+    pub completed: usize,
+    /// Requests shed with a typed `Overloaded`/`Degraded` rejection.
+    pub shed: usize,
+    /// Requests whose (intentionally tight) deadline expired.
+    pub expired: usize,
+    /// Requests that resolved with an infrastructure or execution error
+    /// (expected under fault injection once the retry budget is spent).
+    pub failed: usize,
+    /// Handles that never resolved — always 0 unless the gateway broke its
+    /// exactly-once contract.
+    pub lost: usize,
+    /// Completed requests whose outputs were NOT bit-identical to the
+    /// serial reference — always 0 unless batching/reload tore a result.
+    pub mismatched: usize,
+    /// Stats snapshots that violated counter conservation.
+    pub torn_snapshots: u64,
+    /// Stats snapshots the sampler thread took while the load ran.
+    pub samples: u64,
+    /// Plan hot-swaps that completed during the storm.
+    pub reloads: usize,
+    /// First-submit-to-last-resolution wall clock.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub achieved_rps: f64,
+    /// Whether the final quiescent snapshot conserves.
+    pub conserved: bool,
+    /// Final per-tenant gateway statistics (for per-tenant reporting).
+    pub stats: GatewayStats,
+}
+
+/// Per-client tally of request fates (merged into [`GatewayTiming`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct ClientTally {
+    completed: usize,
+    shed: usize,
+    expired: usize,
+    failed: usize,
+    lost: usize,
+    mismatched: usize,
+}
+
+/// Drive one shared multi-tenant [`Gateway`] with a concurrent chaos load:
+/// every selected kernel registers as a tenant, `load.clients` threads
+/// submit round-robin across tenants (every third request with a deadline
+/// when one is configured), faults are injected per `load`, and — when
+/// `load.reloads > 0` — tenants are hot-swapped while the storm runs.
+///
+/// A sampler thread hammers `Gateway::stats` for the whole run and counts
+/// snapshots that violate counter conservation; every completed gradient is
+/// compared bit-for-bit against a serial `GradientEngine::run` reference
+/// computed before the storm.
+pub fn time_gateway(
+    kernels: &[Box<dyn Kernel>],
+    preset: Preset,
+    load: &GatewayLoad,
+) -> Result<GatewayTiming, String> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    if kernels.is_empty() {
+        return Err("gateway measurement needs at least one kernel".to_string());
+    }
+    let clients = load.clients.max(1);
+    let gateway = Arc::new(Gateway::new(GatewayOptions {
+        max_batch: load.max_batch,
+        max_wait: load.max_wait,
+        queue_capacity: load.queue_capacity,
+        retry_budget: load.retry_budget,
+        ..GatewayOptions::default()
+    }));
+
+    // Distinct input variants per tenant, with serial references computed
+    // up front so completed results can be verified bit-for-bit.
+    const VARIANTS: usize = 4;
+    struct Tenant {
+        client: dace_ad::GatewayGradientClient,
+        inputs: Vec<HashMap<String, Tensor>>,
+        reference: Vec<dace_ad::GradientResult>,
+    }
+    let mut tenants = Vec::with_capacity(kernels.len());
+    let mut engines = Vec::with_capacity(kernels.len());
+    for kernel in kernels {
+        let sizes = kernel.sizes(preset);
+        let sdfg = kernel.build_dace(&sizes);
+        let symbols = kernel.symbols(&sizes);
+        let wrt = kernel.wrt();
+        let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &symbols, &AdOptions::default())
+            .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        let inputs = batch_inputs(kernel.as_ref(), &sizes, VARIANTS);
+        let reference = inputs
+            .iter()
+            .map(|i| engine.run(i))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        let client = engine
+            .register_with(&gateway, kernel.name(), TenantConfig::default())
+            .map_err(|e| format!("{}: {e}", kernel.name()))?;
+        if load.inject_panic_every.is_some() || load.inject_delay > Duration::ZERO {
+            gateway
+                .inject_faults(
+                    kernel.name(),
+                    FaultPlan {
+                        panic_every: load.inject_panic_every,
+                        delay: load.inject_delay,
+                        ..FaultPlan::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        tenants.push(Tenant {
+            client,
+            inputs,
+            reference,
+        });
+        engines.push((kernel.name().to_string(), engine));
+    }
+    let tenants = &tenants;
+
+    let done = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    let samples = AtomicU64::new(0);
+    let per_client = load.requests_per_client;
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let sampler = {
+            let gateway = Arc::clone(&gateway);
+            let (done, torn, samples) = (&done, &torn, &samples);
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    if !gateway.stats().conserves() {
+                        torn.fetch_add(1, Ordering::Relaxed);
+                    }
+                    samples.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        // Hot-swap tenants round-robin while the clients hammer them: the
+        // drain guarantee says no handle may be lost across a swap.
+        let reloader = (load.reloads > 0).then(|| {
+            let gateway = Arc::clone(&gateway);
+            let reloads = load.reloads;
+            scope.spawn(move || {
+                for r in 0..reloads {
+                    std::thread::sleep(Duration::from_millis(3));
+                    let (name, engine) = &engines[r % engines.len()];
+                    engine
+                        .reload_into(&gateway, name)
+                        .expect("reload of a registered tenant");
+                }
+                engines
+            })
+        });
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    for i in 0..per_client {
+                        let tenant = &tenants[(c + i) % tenants.len()];
+                        let v = (c * per_client + i) % tenant.inputs.len();
+                        let deadline = if i % 3 == 0 { load.deadline } else { None };
+                        let handle = tenant
+                            .client
+                            .submit_with(
+                                &tenant.inputs[v],
+                                SubmitOptions {
+                                    deadline,
+                                    idempotent: true,
+                                },
+                            )
+                            .expect("submission to a registered tenant");
+                        match handle.wait_timeout(Duration::from_secs(30)) {
+                            None => tally.lost += 1,
+                            Some(Ok(served)) => {
+                                let expected = &tenant.reference[v];
+                                let exact = served.result.output_value.to_bits()
+                                    == expected.output_value.to_bits()
+                                    && expected.gradients.iter().all(|(name, tensor)| {
+                                        served.result.gradients.get(name).is_some_and(|got| {
+                                            got.data().len() == tensor.data().len()
+                                                && got
+                                                    .data()
+                                                    .iter()
+                                                    .zip(tensor.data())
+                                                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                                        })
+                                    });
+                                if exact {
+                                    tally.completed += 1;
+                                } else {
+                                    tally.mismatched += 1;
+                                }
+                            }
+                            Some(Err(EngineError::Serve(
+                                ServeError::Overloaded { .. } | ServeError::Degraded { .. },
+                            ))) => tally.shed += 1,
+                            Some(Err(EngineError::Serve(ServeError::DeadlineExceeded {
+                                ..
+                            }))) => tally.expired += 1,
+                            Some(Err(_)) => tally.failed += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        let tallies = workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread panicked"))
+            .collect();
+        if let Some(reloader) = reloader {
+            drop(reloader.join().expect("reloader thread panicked"));
+        }
+        done.store(true, Ordering::Release);
+        sampler.join().expect("sampler thread panicked");
+        tallies
+    });
+    let elapsed = start.elapsed();
+
+    let stats = gateway.stats();
+    let sum = |f: fn(&ClientTally) -> usize| tallies.iter().map(f).sum::<usize>();
+    let completed = sum(|t| t.completed);
+    Ok(GatewayTiming {
+        tenants: tenants.len(),
+        clients,
+        submitted: clients * per_client,
+        completed,
+        shed: sum(|t| t.shed),
+        expired: sum(|t| t.expired),
+        failed: sum(|t| t.failed),
+        lost: sum(|t| t.lost),
+        mismatched: sum(|t| t.mismatched),
+        torn_snapshots: torn.load(std::sync::atomic::Ordering::Relaxed),
+        samples: samples.load(std::sync::atomic::Ordering::Relaxed),
+        reloads: load.reloads,
+        elapsed,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64().max(1e-12),
+        conserved: stats.conserves(),
+        stats,
+    })
 }
 
 /// Time the jax-rs gradient computation.

@@ -145,6 +145,12 @@ pub struct BatchReport {
     pub sessions_reused: u64,
     /// Sessions parked in the idle pool after this batch.
     pub pooled_sessions: usize,
+    /// Sessions discarded instead of pooled because the item running on
+    /// them panicked (lifetime counter).  A panicking item may leave its
+    /// slab half-written, so the session is quarantined — this counter is
+    /// how the fault-tolerance layer above ([`crate::gateway`]) observes
+    /// that the quarantine actually fired.
+    pub sessions_discarded: u64,
 }
 
 /// `items / elapsed` as a throughput figure, or `None` when the ratio is
@@ -195,6 +201,7 @@ pub struct BatchDriver {
     idle: Mutex<Vec<PooledSession>>,
     sessions_created: AtomicU64,
     sessions_reused: AtomicU64,
+    sessions_discarded: AtomicU64,
 }
 
 /// An idle session plus the free-hint version it was last stamped with.
@@ -229,6 +236,7 @@ impl BatchDriver {
             idle: Mutex::new(Vec::new()),
             sessions_created: AtomicU64::new(0),
             sessions_reused: AtomicU64::new(0),
+            sessions_discarded: AtomicU64::new(0),
         }
     }
 
@@ -304,6 +312,22 @@ impl BatchDriver {
     /// Checkouts served from the idle pool over the driver's lifetime.
     pub fn sessions_reused(&self) -> u64 {
         self.sessions_reused.load(Ordering::Relaxed)
+    }
+
+    /// Sessions quarantined (dropped instead of pooled) because the item
+    /// running on them panicked, over the driver's lifetime.
+    pub fn sessions_discarded(&self) -> u64 {
+        self.sessions_discarded.load(Ordering::Relaxed)
+    }
+
+    /// Drop idle sessions until the pool holds at most `keep`, releasing
+    /// their slabs.  The complement of [`BatchDriver::warm`]: a serving
+    /// layer that lowers its dispatch bound calls this so pool memory
+    /// follows the bound *down*, not only up (sessions currently checked
+    /// out are unaffected and re-enter the pool on checkin).
+    pub fn trim_pool(&self, keep: usize) {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        idle.truncate(keep);
     }
 
     fn new_session(&self) -> Session {
@@ -418,7 +442,10 @@ impl BatchDriver {
                         // The session may be mid-run (partially written
                         // slab, dangling symbol scopes): drop it rather
                         // than letting the damage leak into later items.
-                        Err(payload) => Err(BatchError::Panicked(panic_message(payload))),
+                        Err(payload) => {
+                            self.sessions_discarded.fetch_add(1, Ordering::Relaxed);
+                            Err(BatchError::Panicked(panic_message(payload)))
+                        }
                     }
                 })
                 .collect();
@@ -439,6 +466,7 @@ impl BatchDriver {
             sessions_created: self.sessions_created(),
             sessions_reused: self.sessions_reused(),
             pooled_sessions: self.pooled_sessions(),
+            sessions_discarded: self.sessions_discarded(),
         };
         BatchOutput { items, report }
     }

@@ -27,6 +27,11 @@
 //!   submitted individually (with optional per-request deadlines and
 //!   cancellation), an admission queue coalesces them into batches, and
 //!   handles deliver results with p50/p95 latency accounting.
+//! * [`gateway::Gateway`] is the multi-tenant front door above all of
+//!   that: bounded per-tenant admission with typed overload rejection,
+//!   weighted deficit round-robin across tenants, retries with exponential
+//!   backoff, per-tenant circuit breakers, graceful program reload and a
+//!   deterministic fault-injection harness.
 //! * [`executor::Executor`] is the deprecated coupled compile-and-run shim
 //!   kept for migration; [`memory::MemoryTracker`] provides the allocation
 //!   tracking and peak-memory measurement used by the checkpointing
@@ -80,6 +85,7 @@
 pub mod batch;
 pub mod error;
 pub mod executor;
+pub mod gateway;
 pub mod memory;
 mod plan;
 mod program;
@@ -89,6 +95,10 @@ mod spec;
 pub use batch::{throughput, BatchDriver, BatchError, BatchItemResult, BatchOutput, BatchReport};
 pub use error::{RuntimeError, RuntimeResult};
 pub use executor::{ExecutionReport, Executor, MapPath};
+pub use gateway::{
+    BreakerState, FaultPlan, Gateway, GatewayError, GatewayHandle, GatewayOptions, GatewayStats,
+    SubmitOptions, TenantConfig, TenantStats,
+};
 pub use memory::MemoryTracker;
 pub use program::{
     clear_plan_cache, compile, debug_fingerprint_sdfg, debug_inject_plan_cache_alias,

@@ -134,6 +134,26 @@ pub enum ServeError {
     /// The request panicked mid-execution; its session was discarded and
     /// the server keeps serving.
     Panicked(String),
+    /// The tenant's admission queue was full, so the request was rejected
+    /// instead of growing the queue without bound.  `retry_after_hint` is a
+    /// coarse estimate of when the queue is likely to have room again —
+    /// produced by the multi-tenant [`crate::gateway::Gateway`]; a bare
+    /// [`ServeDriver`] queue is unbounded and never raises it.
+    Overloaded {
+        /// Suggested client back-off before resubmitting (best-effort).
+        retry_after_hint: Duration,
+    },
+    /// The tenant's circuit breaker is open after repeated infrastructure
+    /// failures: load is shed early instead of queueing behind a failing
+    /// backend.  Raised by [`crate::gateway::Gateway`] admission only.
+    Degraded {
+        /// Time until the breaker's next half-open recovery probe.
+        retry_after_hint: Duration,
+    },
+    /// A serving session could not be checked out for this request (today
+    /// only reachable via fault injection, see
+    /// [`crate::gateway::FaultPlan`]).
+    Checkout(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -146,6 +166,17 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Execution(e) => write!(f, "request failed: {e}"),
             ServeError::Panicked(msg) => write!(f, "request panicked: {msg}"),
+            ServeError::Overloaded { retry_after_hint } => {
+                write!(
+                    f,
+                    "admission queue full (retry after ~{retry_after_hint:?})"
+                )
+            }
+            ServeError::Degraded { retry_after_hint } => write!(
+                f,
+                "tenant degraded: circuit breaker open (retry after ~{retry_after_hint:?})"
+            ),
+            ServeError::Checkout(msg) => write!(f, "session checkout failed: {msg}"),
         }
     }
 }
@@ -264,6 +295,40 @@ impl RequestHandle {
         }
     }
 
+    /// Bounded blocking wait: block up to `timeout` for the request to
+    /// complete, so callers can bound their own wait instead of relying
+    /// solely on server-side deadlines.  Returns `None` on timeout —
+    /// the request keeps running and the handle stays fully usable — or
+    /// `Some(result)` once completed (the stored result is cloned, like
+    /// [`RequestHandle::try_wait`], so a later [`RequestHandle::wait`]
+    /// still succeeds).
+    ///
+    /// The expired-then-completed race is benign by construction: a
+    /// `wait_timeout` that returns `None` at the same instant the
+    /// dispatcher completes the request loses nothing — the result is
+    /// stored on the request, and the next `try_wait`/`wait_timeout`/
+    /// [`RequestHandle::wait`] observes it.  The result is delivered
+    /// exactly once by `wait` however many bounded waits timed out before.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServeResponse, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut phase = self.req.lock_phase();
+        loop {
+            if let ReqPhase::Done(result) = &*phase {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .req
+                .done_cv
+                .wait_timeout(phase, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            phase = guard;
+        }
+    }
+
     /// Best-effort cancellation: succeeds (returns `true`) only while the
     /// request still sits in the admission queue, completing it with
     /// [`ServeError::Cancelled`].  A request already dispatched or finished
@@ -309,8 +374,9 @@ struct Counters {
 }
 
 /// Sliding window of completion latencies (seconds) for the percentile
-/// figures in [`ServeStats`].
-struct LatencyWindow {
+/// figures in [`ServeStats`] (shared with the per-tenant windows of
+/// [`crate::gateway::Gateway`]).
+pub(crate) struct LatencyWindow {
     samples: Vec<Duration>,
     next: usize,
 }
@@ -318,14 +384,14 @@ struct LatencyWindow {
 const LATENCY_WINDOW: usize = 4096;
 
 impl LatencyWindow {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LatencyWindow {
             samples: Vec::new(),
             next: 0,
         }
     }
 
-    fn record(&mut self, latency: Duration) {
+    pub(crate) fn record(&mut self, latency: Duration) {
         if self.samples.len() < LATENCY_WINDOW {
             self.samples.push(latency);
         } else {
@@ -341,6 +407,16 @@ impl LatencyWindow {
         }
         let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
+    }
+
+    /// (p50, p95) over the current window, zero while empty.
+    pub(crate) fn percentiles(&self) -> (Duration, Duration) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        (
+            Self::percentile(&sorted, 0.50),
+            Self::percentile(&sorted, 0.95),
+        )
     }
 }
 
@@ -600,15 +676,11 @@ impl ServeDriver {
     /// [`ServeStats`] holds on every snapshot.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
-        let (p50, p95) = {
-            let window = shared.latencies.lock().unwrap_or_else(|e| e.into_inner());
-            let mut sorted = window.samples.clone();
-            sorted.sort();
-            (
-                LatencyWindow::percentile(&sorted, 0.50),
-                LatencyWindow::percentile(&sorted, 0.95),
-            )
-        };
+        let (p50, p95) = shared
+            .latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .percentiles();
         let c = shared.lock_counters();
         ServeStats {
             queue_depth: c.queued as usize,
@@ -652,11 +724,27 @@ impl ServeDriver {
     /// dispatch (never narrows; takes effect from the next batch
     /// formation).  Used by submit-all-then-wait-all callers so a batch
     /// larger than the configured bound runs as one dispatch at full
-    /// fan-out instead of serialised waves.
+    /// fan-out instead of serialised waves.  To *lower* the bound, use
+    /// [`ServeDriver::set_max_batch`].
     pub fn raise_max_batch(&self, max_batch: usize) {
         self.shared
             .max_batch
             .fetch_max(max_batch.max(1), Ordering::Relaxed);
+    }
+
+    /// Set the admission bound to exactly `max_batch` requests per
+    /// dispatch, clamped to `>= 1` — unlike
+    /// [`ServeDriver::raise_max_batch`] this can also **lower** the cap on
+    /// a live driver (takes effect from the next batch formation).
+    /// Lowering re-stamps the warm pool: idle sessions beyond the new
+    /// bound are dropped, so the pool's memory footprint follows the cap
+    /// down instead of staying at the old high-water mark (the same
+    /// reach-the-warm-pool fix [`BatchDriver::set_free_hints`] got in
+    /// PR 5).  Sessions currently serving a dispatch are unaffected.
+    pub fn set_max_batch(&self, max_batch: usize) {
+        let bound = max_batch.max(1);
+        self.shared.max_batch.store(bound, Ordering::Relaxed);
+        self.shared.driver.trim_pool(bound);
     }
 
     /// Pre-create pooled sessions off the serving path (see

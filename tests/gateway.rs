@@ -1,0 +1,944 @@
+//! Multi-tenant gateway: WDRR fairness, backpressure, retries, circuit
+//! breaking, graceful reload, fault injection, shutdown-under-load and the
+//! exactly-once handle contract of `Gateway` /
+//! `GradientEngine::register_with`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dace_ad_repro::prelude::*;
+use dace_tensor::Tensor;
+use npbench::Preset;
+
+const N: usize = 16;
+
+fn symbols() -> HashMap<String, i64> {
+    HashMap::from([("N".to_string(), N as i64)])
+}
+
+/// `Y = 2X + 1` — tenant "alpha"'s program.
+fn alpha_program() -> CompiledProgram {
+    let mut b = ProgramBuilder::new("gw_alpha");
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_input("Y", vec![n.clone()]).unwrap();
+    b.assign(
+        "Y",
+        ArrayExpr::a("X")
+            .mul(ArrayExpr::s(2.0))
+            .add(ArrayExpr::s(1.0)),
+    );
+    compile(&b.build().unwrap(), &symbols()).unwrap()
+}
+
+/// `Y = X·X − 3` — tenant "beta"'s program.
+fn beta_program() -> CompiledProgram {
+    let mut b = ProgramBuilder::new("gw_beta");
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_input("Y", vec![n.clone()]).unwrap();
+    b.assign(
+        "Y",
+        ArrayExpr::a("X")
+            .mul(ArrayExpr::a("X"))
+            .sub(ArrayExpr::s(3.0)),
+    );
+    compile(&b.build().unwrap(), &symbols()).unwrap()
+}
+
+/// `Y = 3X` — the program "alpha" hot-swaps to in the reload test.
+fn alpha_v2_program() -> CompiledProgram {
+    let mut b = ProgramBuilder::new("gw_alpha_v2");
+    let n = b.symbol("N");
+    b.add_input("X", vec![n.clone()]).unwrap();
+    b.add_input("Y", vec![n.clone()]).unwrap();
+    b.assign("Y", ArrayExpr::a("X").mul(ArrayExpr::s(3.0)));
+    compile(&b.build().unwrap(), &symbols()).unwrap()
+}
+
+fn item(i: usize) -> HashMap<String, Tensor> {
+    let data: Vec<f64> = (0..N).map(|j| (i * 17 + j) as f64 * 0.25 - 2.0).collect();
+    HashMap::from([("X".to_string(), Tensor::from_vec(data, &[N]).unwrap())])
+}
+
+/// Serial single-session reference for `item(i)` on `program`.
+fn reference(program: &CompiledProgram, i: usize) -> Tensor {
+    let mut session = program.session();
+    for (k, v) in item(i) {
+        session.set_input(&k, v).unwrap();
+    }
+    session.run().unwrap();
+    session.array("Y").unwrap().clone()
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Wait with a generous bound: a handle that does not resolve within it is
+/// a *lost* handle — exactly the contract violation this suite polices.
+fn must_resolve(handle: GatewayHandle) -> Result<ServeResponse, ServeError> {
+    let _ = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("handle lost: no resolution within 30s");
+    handle.wait()
+}
+
+/// Poll `stats()` until `pred` holds (or panic after a generous bound).
+fn wait_for(gateway: &Gateway, pred: impl Fn(&GatewayStats) -> bool, what: &str) {
+    let start = Instant::now();
+    loop {
+        if pred(&gateway.stats()) {
+            return;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "timed out waiting for: {what}"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Two tenants, interleaved submissions: every result is bit-identical to
+/// a serial session run of the right tenant's program, and both tenants'
+/// counters conserve.
+#[test]
+fn two_tenants_serve_bit_identical_results() {
+    let alpha = alpha_program();
+    let beta = beta_program();
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", alpha.clone()).unwrap();
+    gateway.register("beta", beta.clone()).unwrap();
+
+    let handles: Vec<(usize, &CompiledProgram, GatewayHandle)> = (0..12)
+        .map(|i| {
+            let (name, program) = if i % 2 == 0 {
+                ("alpha", &alpha)
+            } else {
+                ("beta", &beta)
+            };
+            (i, program, gateway.submit(name, item(i), &["Y"]).unwrap())
+        })
+        .collect();
+    for (i, program, handle) in handles {
+        let response = must_resolve(handle).unwrap();
+        assert_eq!(
+            bits(&response.outputs["Y"]),
+            bits(&reference(program, i)),
+            "item {i} diverged from its tenant's serial reference"
+        );
+        assert!(response.batched_with >= 1);
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves(), "counters must conserve: {stats:?}");
+    assert_eq!(stats.tenants["alpha"].completed, 6);
+    assert_eq!(stats.tenants["beta"].completed, 6);
+    assert_eq!(stats.tenants["alpha"].failed, 0);
+    assert!(stats.dispatches >= 2, "each tenant dispatches separately");
+}
+
+/// Equal-weight WDRR: a tenant with a small backlog drains while a hot
+/// tenant with 4× the backlog is still being served — the hot tenant
+/// cannot starve the small one.
+#[test]
+fn wdrr_small_tenant_is_not_starved_by_hot_tenant() {
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 2,
+        max_wait: Duration::ZERO,
+        queue_capacity: 64,
+        ..GatewayOptions::default()
+    });
+    gateway.register("hot", alpha_program()).unwrap();
+    gateway.register("small", beta_program()).unwrap();
+    // Make each dispatch take real time so scheduling order is observable.
+    for t in ["hot", "small"] {
+        gateway
+            .inject_faults(
+                t,
+                FaultPlan {
+                    delay: Duration::from_millis(5),
+                    ..FaultPlan::default()
+                },
+            )
+            .unwrap();
+    }
+
+    let hot: Vec<_> = (0..16)
+        .map(|i| gateway.submit("hot", item(i), &["Y"]).unwrap())
+        .collect();
+    let small: Vec<_> = (0..4)
+        .map(|i| gateway.submit("small", item(i), &["Y"]).unwrap())
+        .collect();
+    for handle in small {
+        must_resolve(handle).unwrap();
+    }
+    // Round-robin alternates tenants batch for batch, so when the small
+    // tenant's 2 batches have completed the hot tenant can have consumed
+    // only a comparable number of its 8 — most of its backlog remains.
+    let hot_done = hot.iter().filter(|h| h.is_done()).count();
+    assert!(
+        hot_done < hot.len(),
+        "fair scheduling must interleave: the hot tenant finished all \
+         {} requests before the small tenant's 4 completed",
+        hot.len()
+    );
+    for handle in hot {
+        must_resolve(handle).unwrap();
+    }
+    assert!(gateway.stats().conserves());
+}
+
+/// Weighted WDRR: with equal backlogs, a weight-3 tenant earns three
+/// consecutive batches per round-robin visit and drains well before its
+/// weight-1 peer.
+#[test]
+fn wdrr_weight_skews_dispatch_share() {
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 2,
+        max_wait: Duration::ZERO,
+        ..GatewayOptions::default()
+    });
+    gateway
+        .register_with(
+            "heavy",
+            alpha_program(),
+            TenantConfig {
+                weight: 3,
+                queue_capacity: None,
+            },
+        )
+        .unwrap();
+    gateway.register("light", beta_program()).unwrap();
+    for t in ["heavy", "light"] {
+        gateway
+            .inject_faults(
+                t,
+                FaultPlan {
+                    delay: Duration::from_millis(3),
+                    ..FaultPlan::default()
+                },
+            )
+            .unwrap();
+    }
+
+    let heavy: Vec<_> = (0..12)
+        .map(|i| gateway.submit("heavy", item(i), &["Y"]).unwrap())
+        .collect();
+    let light: Vec<_> = (0..12)
+        .map(|i| gateway.submit("light", item(i), &["Y"]).unwrap())
+        .collect();
+    for handle in heavy {
+        must_resolve(handle).unwrap();
+    }
+    let light_done = light.iter().filter(|h| h.is_done()).count();
+    assert!(
+        light_done < 12,
+        "a weight-3 tenant must drain its backlog before its weight-1 \
+         peer with an equal backlog (light had finished all 12)"
+    );
+    for handle in light {
+        must_resolve(handle).unwrap();
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["heavy"].weight, 3);
+}
+
+/// A full admission queue rejects immediately with a typed `Overloaded`
+/// carrying a non-zero retry hint; queued peers are unaffected.
+#[test]
+fn overload_sheds_with_typed_hint() {
+    const CAP: usize = 3;
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 64,                     // never fills
+        max_wait: Duration::from_secs(30), // never lingers out in-test
+        queue_capacity: CAP,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", alpha_program()).unwrap();
+
+    let queued: Vec<_> = (0..CAP)
+        .map(|i| gateway.submit("alpha", item(i), &["Y"]).unwrap())
+        .collect();
+    for i in 0..3 {
+        let rejected = gateway.submit("alpha", item(CAP + i), &["Y"]).unwrap();
+        match rejected.try_wait() {
+            Some(Err(ServeError::Overloaded { retry_after_hint })) => {
+                assert!(
+                    retry_after_hint >= Duration::from_millis(1),
+                    "the hint must never tell clients to hammer immediately"
+                );
+            }
+            other => panic!("expected an immediate Overloaded, got {other:?}"),
+        }
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].overloaded, 3);
+    assert_eq!(stats.tenants["alpha"].queue_depth, CAP);
+    // Shutdown drains the queue: the admitted requests all complete.
+    gateway.shutdown();
+    for handle in queued {
+        must_resolve(handle).unwrap();
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].completed, CAP as u64);
+}
+
+/// An injected panic on the first dispatch quarantines the session and the
+/// idempotent request is retried to a bit-identical result; a
+/// non-idempotent request resolves with the panic instead.
+#[test]
+fn panic_is_retried_for_idempotent_requests_only() {
+    let program = alpha_program();
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        retry_budget: 2,
+        retry_backoff: Duration::from_micros(100),
+        breaker_threshold: 10, // keep the breaker out of this test
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", program.clone()).unwrap();
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                panic_on: vec![1, 3],
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    // Dispatch #1 panics, the retry (dispatch #2) succeeds.
+    let handle = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+    let response = must_resolve(handle).unwrap();
+    assert_eq!(bits(&response.outputs["Y"]), bits(&reference(&program, 0)));
+
+    // Dispatch #3 panics and the request opted out of retries.
+    let fragile = gateway
+        .submit_with(
+            "alpha",
+            item(1),
+            &["Y"],
+            SubmitOptions {
+                deadline: None,
+                idempotent: false,
+            },
+        )
+        .unwrap();
+    match must_resolve(fragile) {
+        Err(ServeError::Panicked(msg)) => {
+            assert!(msg.contains("injected fault"), "unexpected panic: {msg}")
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    let t = &stats.tenants["alpha"];
+    assert_eq!(t.completed, 1);
+    assert_eq!(t.failed, 1);
+    assert_eq!(t.retried, 1);
+    assert_eq!(t.panics, 2);
+    assert_eq!(t.breaker, BreakerState::Closed);
+    assert!(
+        t.sessions_discarded >= 2,
+        "each panic must quarantine its session (saw {})",
+        t.sessions_discarded
+    );
+}
+
+/// Repeated infrastructure failures trip the breaker: admissions are shed
+/// early with `Degraded`, a half-open probe after the cooldown restores
+/// the tenant, and other tenants keep serving throughout.
+#[test]
+fn breaker_trips_sheds_and_recovers_via_probe() {
+    let cooldown = Duration::from_millis(40);
+    let program = alpha_program();
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        retry_budget: 0, // failures resolve immediately
+        breaker_threshold: 2,
+        breaker_cooldown: cooldown,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", program.clone()).unwrap();
+    gateway.register("beta", beta_program()).unwrap();
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                panic_every: Some(1), // every dispatch fails
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    // Two consecutive failures trip the breaker.
+    for i in 0..2 {
+        let handle = gateway.submit("alpha", item(i), &["Y"]).unwrap();
+        match must_resolve(handle) {
+            Err(ServeError::Panicked(_)) => {}
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+    let stats = gateway.stats();
+    assert_eq!(stats.tenants["alpha"].breaker, BreakerState::Open);
+    assert_eq!(stats.tenants["alpha"].breaker_trips, 1);
+
+    // While open: load is shed at admission with a typed hint.
+    let shed = gateway.submit("alpha", item(2), &["Y"]).unwrap();
+    match shed.try_wait() {
+        Some(Err(ServeError::Degraded { retry_after_hint })) => {
+            assert!(retry_after_hint > Duration::ZERO);
+            assert!(retry_after_hint <= cooldown);
+        }
+        other => panic!("expected an immediate Degraded, got {other:?}"),
+    }
+    // The healthy tenant is unaffected by its neighbour's outage.
+    let healthy = gateway.submit("beta", item(0), &["Y"]).unwrap();
+    must_resolve(healthy).unwrap();
+
+    // Heal the backend, wait out the cooldown: the next request is the
+    // half-open probe and its success closes the breaker.
+    gateway
+        .inject_faults("alpha", FaultPlan::default())
+        .unwrap();
+    std::thread::sleep(cooldown + Duration::from_millis(5));
+    let probe = gateway.submit("alpha", item(3), &["Y"]).unwrap();
+    let response = must_resolve(probe).unwrap();
+    assert_eq!(bits(&response.outputs["Y"]), bits(&reference(&program, 3)));
+
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    let t = &stats.tenants["alpha"];
+    assert_eq!(t.breaker, BreakerState::Closed);
+    assert_eq!(t.degraded, 1);
+    assert_eq!(t.completed, 1);
+    assert_eq!(t.failed, 2);
+}
+
+/// A failed half-open probe re-opens the breaker (and counts a second
+/// trip); the next cooldown's probe then restores the tenant.
+#[test]
+fn failed_probe_reopens_breaker() {
+    let cooldown = Duration::from_millis(30);
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        retry_budget: 0,
+        breaker_threshold: 1, // first failure trips
+        breaker_cooldown: cooldown,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", alpha_program()).unwrap();
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                panic_on: vec![1, 2], // the trip AND the first probe fail
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    let first = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+    assert!(must_resolve(first).is_err());
+    assert_eq!(gateway.stats().tenants["alpha"].breaker, BreakerState::Open);
+
+    std::thread::sleep(cooldown + Duration::from_millis(5));
+    let probe = gateway.submit("alpha", item(1), &["Y"]).unwrap();
+    assert!(
+        must_resolve(probe).is_err(),
+        "dispatch #2 is the failing probe"
+    );
+    let stats = gateway.stats();
+    assert_eq!(stats.tenants["alpha"].breaker, BreakerState::Open);
+    assert_eq!(stats.tenants["alpha"].breaker_trips, 2);
+
+    std::thread::sleep(cooldown + Duration::from_millis(5));
+    let retry = gateway.submit("alpha", item(2), &["Y"]).unwrap();
+    must_resolve(retry).unwrap();
+    assert_eq!(
+        gateway.stats().tenants["alpha"].breaker,
+        BreakerState::Closed
+    );
+}
+
+/// Forced session-checkout failure is a typed, retryable infrastructure
+/// error: with budget it recovers, without it the handle carries
+/// `ServeError::Checkout`.
+#[test]
+fn checkout_failure_is_typed_and_retryable() {
+    let program = alpha_program();
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        retry_budget: 1,
+        retry_backoff: Duration::from_micros(100),
+        breaker_threshold: 10,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", program.clone()).unwrap();
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                checkout_fail_on: vec![1, 3, 4],
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    // Dispatch #1 fails checkout, the retry (#2) succeeds.
+    let recovered = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+    let response = must_resolve(recovered).unwrap();
+    assert_eq!(bits(&response.outputs["Y"]), bits(&reference(&program, 0)));
+
+    // Dispatches #3 and #4 both fail: the budget (1 retry) is exhausted.
+    let doomed = gateway.submit("alpha", item(1), &["Y"]).unwrap();
+    match must_resolve(doomed) {
+        Err(ServeError::Checkout(msg)) => {
+            assert!(msg.contains("injected fault"), "unexpected message: {msg}")
+        }
+        other => panic!("expected Checkout, got {other:?}"),
+    }
+
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    let t = &stats.tenants["alpha"];
+    assert_eq!(t.checkout_failures, 3);
+    assert_eq!(t.retried, 2);
+    assert_eq!(t.completed, 1);
+    assert_eq!(t.failed, 1);
+    assert_eq!(
+        t.sessions_discarded, 0,
+        "a checkout failure never touches (so never quarantines) a session"
+    );
+}
+
+/// A request whose retry is waiting out its backoff is still cancellable —
+/// `cancel` succeeds, the handle resolves `Cancelled`, counters conserve.
+#[test]
+fn cancel_succeeds_mid_retry_backoff() {
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        retry_budget: 2,
+        retry_backoff: Duration::from_millis(500), // long enough to race
+        breaker_threshold: 10,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", alpha_program()).unwrap();
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                panic_on: vec![1],
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    let handle = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+    wait_for(
+        &gateway,
+        |s| s.tenants["alpha"].retried == 1,
+        "the first dispatch to panic and requeue",
+    );
+    assert!(
+        handle.cancel(),
+        "a request awaiting its retry backoff must be cancellable"
+    );
+    match must_resolve(handle) {
+        Err(ServeError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].cancelled, 1);
+    assert_eq!(stats.tenants["alpha"].completed, 0);
+}
+
+/// A deadline expires *in the gateway queue* on time (not at the end of
+/// the linger window), with the typed `DeadlineExceeded` rejection.
+#[test]
+fn deadline_expires_in_queue_on_time() {
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 64,
+        max_wait: Duration::from_secs(30), // linger far longer than the test
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", alpha_program()).unwrap();
+    let submitted = Instant::now();
+    let handle = gateway
+        .submit_with(
+            "alpha",
+            item(0),
+            &["Y"],
+            SubmitOptions {
+                deadline: Some(Duration::from_millis(20)),
+                idempotent: true,
+            },
+        )
+        .unwrap();
+    match must_resolve(handle) {
+        Err(ServeError::DeadlineExceeded { missed_by }) => {
+            assert!(missed_by > Duration::ZERO);
+            assert!(
+                submitted.elapsed() < Duration::from_secs(5),
+                "rejection must arrive at the deadline, not the linger end"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].expired, 1);
+    assert_eq!(stats.tenants["alpha"].batches, 0);
+}
+
+/// Graceful reload: the call blocks until in-flight requests drained
+/// against the old plan, already-queued and new requests run on the new
+/// one, and no handle is lost across the swap.
+#[test]
+fn reload_drains_old_plan_and_swaps() {
+    let v1 = alpha_program();
+    let v2 = alpha_v2_program();
+    let gateway = Gateway::new(GatewayOptions {
+        max_batch: 4,
+        max_wait: Duration::ZERO,
+        ..GatewayOptions::default()
+    });
+    gateway.register("alpha", v1.clone()).unwrap();
+    // Slow dispatches down so requests are genuinely in flight at reload.
+    gateway
+        .inject_faults(
+            "alpha",
+            FaultPlan {
+                delay: Duration::from_millis(10),
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+
+    let old_handles: Vec<_> = (0..4)
+        .map(|i| gateway.submit("alpha", item(i), &["Y"]).unwrap())
+        .collect();
+    // Wait until the whole wave is dispatched (claimed, in flight) so the
+    // reload below must actually drain it.
+    wait_for(
+        &gateway,
+        |s| s.tenants["alpha"].in_flight > 0 && s.tenants["alpha"].queue_depth == 0,
+        "the first wave to be dispatched",
+    );
+    gateway.reload("alpha", v2.clone()).unwrap();
+    // The drain guarantee: by the time reload returns, everything that was
+    // in flight on the old plan has resolved.
+    for (i, handle) in old_handles.into_iter().enumerate() {
+        let response = handle
+            .try_wait()
+            .expect("reload must have drained all in-flight requests")
+            .unwrap();
+        assert_eq!(
+            bits(&response.outputs["Y"]),
+            bits(&reference(&v1, i)),
+            "drained item {i} must have run on the old program"
+        );
+    }
+    let stats = gateway.stats();
+    assert_eq!(stats.tenants["alpha"].epoch, 2);
+    assert_eq!(stats.tenants["alpha"].completed, 4);
+
+    // New submissions land on the recompiled program.
+    let new_handles: Vec<_> = (0..4)
+        .map(|i| gateway.submit("alpha", item(i), &["Y"]).unwrap())
+        .collect();
+    for (i, handle) in new_handles.into_iter().enumerate() {
+        let response = must_resolve(handle).unwrap();
+        assert_eq!(
+            bits(&response.outputs["Y"]),
+            bits(&reference(&v2, i)),
+            "post-reload item {i} must run on the new program"
+        );
+    }
+    assert!(gateway.stats().conserves());
+    // Reloading an unknown tenant is a typed error.
+    assert_eq!(
+        gateway.reload("nope", v2).unwrap_err(),
+        GatewayError::UnknownTenant("nope".to_string())
+    );
+}
+
+/// Old-plan results are bit-exact against the old program even when
+/// reloads race the dispatcher from another thread.
+#[test]
+fn concurrent_reloads_never_tear_results() {
+    let v1 = alpha_program();
+    let v2 = alpha_v2_program();
+    let ref_v1 = bits(&reference(&v1, 0));
+    let ref_v2 = bits(&reference(&v2, 0));
+    let gateway = Arc::new(Gateway::new(GatewayOptions {
+        max_batch: 2,
+        max_wait: Duration::ZERO,
+        ..GatewayOptions::default()
+    }));
+    gateway.register("alpha", v1.clone()).unwrap();
+
+    std::thread::scope(|scope| {
+        let reloader = {
+            let gateway = Arc::clone(&gateway);
+            let (v1, v2) = (v1.clone(), v2.clone());
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let next = if round % 2 == 0 {
+                        v2.clone()
+                    } else {
+                        v1.clone()
+                    };
+                    gateway.reload("alpha", next).unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        // Every submission uses item(0): whichever plan a request lands
+        // on, its result must be bit-exact for *that* plan — never a blend.
+        for _ in 0..40 {
+            let handle = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+            let response = must_resolve(handle).unwrap();
+            let got = bits(&response.outputs["Y"]);
+            assert!(
+                got == ref_v1 || got == ref_v2,
+                "reload tore a result: matches neither plan's reference"
+            );
+        }
+        reloader.join().unwrap();
+    });
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].epoch, 7, "1 + 6 reloads");
+    assert_eq!(stats.tenants["alpha"].completed, 40);
+}
+
+/// Satellite: shutdown under load with injected faults.  A tenant is
+/// mid-retry when the gateway drops; every handle resolves exactly once
+/// with a typed outcome, and a sampler asserts counter conservation on
+/// every snapshot it takes while the drain races on.
+#[test]
+fn shutdown_under_load_resolves_every_handle_exactly_once() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 10;
+    let gateway = Arc::new(Gateway::new(GatewayOptions {
+        max_batch: 2,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 16,
+        retry_budget: 3,
+        retry_backoff: Duration::from_millis(20), // long: shutdown races it
+        breaker_threshold: 100,                   // keep admissions open under the fault storm
+        ..GatewayOptions::default()
+    }));
+    gateway.register("alpha", alpha_program()).unwrap();
+    gateway.register("beta", beta_program()).unwrap();
+    // Panic storms on both tenants keep retries permanently in the air.
+    for t in ["alpha", "beta"] {
+        gateway
+            .inject_faults(
+                t,
+                FaultPlan {
+                    panic_every: Some(3),
+                    delay: Duration::from_micros(200),
+                    ..FaultPlan::default()
+                },
+            )
+            .unwrap();
+    }
+
+    let done = AtomicBool::new(false);
+    let resolved = std::sync::Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        let sampler = {
+            let gateway = Arc::clone(&gateway);
+            let done = &done;
+            scope.spawn(move || {
+                let mut samples = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let stats = gateway.stats();
+                    assert!(
+                        stats.conserves(),
+                        "torn snapshot under faulted shutdown: {stats:?}"
+                    );
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        let submitters: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let gateway = Arc::clone(&gateway);
+                let resolved = &resolved;
+                scope.spawn(move || {
+                    let tenant = if t % 2 == 0 { "alpha" } else { "beta" };
+                    for i in 0..PER_THREAD {
+                        let idx = t * PER_THREAD + i;
+                        let deadline = idx.is_multiple_of(3).then(|| Duration::from_millis(50));
+                        let Ok(handle) = gateway.submit_with(
+                            tenant,
+                            item(idx),
+                            &["Y"],
+                            SubmitOptions {
+                                deadline,
+                                idempotent: true,
+                            },
+                        ) else {
+                            panic!("registered tenants must accept submissions");
+                        };
+                        // Exactly-once: the bounded wait flags a lost
+                        // handle; any typed outcome is legal under the
+                        // storm (completed, panicked after budget,
+                        // overloaded, expired, shutdown...).
+                        let _ = must_resolve(handle);
+                        *resolved.lock().unwrap() += 1;
+                    }
+                })
+            })
+            .collect();
+        // Let the storm develop, then yank the gateway mid-retry.
+        std::thread::sleep(Duration::from_millis(15));
+        gateway.shutdown();
+        for submitter in submitters {
+            submitter.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let samples = sampler.join().unwrap();
+        assert!(samples > 0, "the sampler must have observed the run");
+    });
+
+    assert_eq!(
+        *resolved.lock().unwrap(),
+        THREADS * PER_THREAD,
+        "every submitted handle must resolve exactly once"
+    );
+    let stats = gateway.stats();
+    assert!(stats.conserves(), "final snapshot must conserve: {stats:?}");
+    for (name, t) in &stats.tenants {
+        assert_eq!(t.queue_depth, 0, "{name}: queue must be drained");
+        assert_eq!(t.in_flight, 0, "{name}: nothing may remain in flight");
+    }
+}
+
+/// Gateway-level registry errors are typed: unknown tenant on submit,
+/// duplicate registration, and post-shutdown registration/submission.
+#[test]
+fn registry_errors_are_typed() {
+    let gateway = Gateway::new(GatewayOptions::default());
+    gateway.register("alpha", alpha_program()).unwrap();
+    assert_eq!(
+        gateway.submit("ghost", item(0), &["Y"]).unwrap_err(),
+        GatewayError::UnknownTenant("ghost".to_string())
+    );
+    assert_eq!(
+        gateway.register("alpha", beta_program()).unwrap_err(),
+        GatewayError::DuplicateTenant("alpha".to_string())
+    );
+    assert_eq!(
+        gateway
+            .inject_faults("ghost", FaultPlan::default())
+            .unwrap_err(),
+        GatewayError::UnknownTenant("ghost".to_string())
+    );
+    gateway.shutdown();
+    assert_eq!(
+        gateway.register("late", beta_program()).unwrap_err(),
+        GatewayError::ShuttingDown
+    );
+    assert_eq!(
+        gateway.reload("alpha", beta_program()).unwrap_err(),
+        GatewayError::ShuttingDown
+    );
+    // Submission to a *known* tenant after shutdown resolves through the
+    // handle (one place to observe request fate), not as a call error.
+    let late = gateway.submit("alpha", item(0), &["Y"]).unwrap();
+    match late.try_wait() {
+        Some(Err(ServeError::ShuttingDown)) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    let stats = gateway.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.tenants["alpha"].rejected, 1);
+}
+
+/// Engine integration: gradients served through a shared gateway are
+/// bit-identical to blocking `GradientEngine::run`, submit-time validation
+/// matches, and per-tenant stats flow through the client.
+#[test]
+fn engine_register_with_matches_blocking_run() {
+    let kernel = npbench::kernel_by_name("atax").unwrap();
+    let sizes = kernel.sizes(Preset::Test);
+    let inputs_list = npbench::runner::batch_inputs(kernel.as_ref(), &sizes, 4);
+    let sdfg = kernel.build_dace(&sizes);
+    let syms = kernel.symbols(&sizes);
+    let wrt = kernel.wrt();
+    let mut engine = GradientEngine::new(&sdfg, "OUT", &wrt, &syms, &AdOptions::default()).unwrap();
+    let blocking: Vec<_> = inputs_list.iter().map(|i| engine.run(i).unwrap()).collect();
+
+    let gateway = Arc::new(Gateway::new(GatewayOptions {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        ..GatewayOptions::default()
+    }));
+    let client = engine
+        .register_with(&gateway, "atax", TenantConfig::default())
+        .unwrap();
+    assert_eq!(client.tenant(), "atax");
+
+    let handles: Vec<_> = inputs_list
+        .iter()
+        .map(|i| client.submit(i).unwrap())
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        assert!(
+            handle.wait_timeout(Duration::from_secs(30)).is_some(),
+            "gateway gradient handle lost"
+        );
+        let served = handle.wait().unwrap();
+        assert_eq!(
+            served.result.output_value.to_bits(),
+            blocking[i].output_value.to_bits()
+        );
+        for (name, expected) in &blocking[i].gradients {
+            assert_eq!(
+                bits(&served.result.gradients[name]),
+                bits(expected),
+                "gradient of {name} diverged for gateway item {i}"
+            );
+        }
+    }
+    // Validation fires synchronously at submit, exactly like `run`.
+    let mut typo = inputs_list[0].clone();
+    typo.insert("NOPE".to_string(), Tensor::zeros(&[2]));
+    match client.submit(&typo) {
+        Err(EngineError::UnknownInput(name)) => assert_eq!(name, "NOPE"),
+        other => panic!("expected UnknownInput, got {other:?}"),
+    }
+    // Duplicate tenant registration surfaces as a typed engine error.
+    match engine.register_with(&gateway, "atax", TenantConfig::default()) {
+        Err(EngineError::Gateway(GatewayError::DuplicateTenant(name))) => {
+            assert_eq!(name, "atax")
+        }
+        other => panic!("expected DuplicateTenant, got {other:?}"),
+    }
+    let t = client.stats().expect("registered tenant has stats");
+    assert!(t.conserves());
+    assert_eq!(t.completed, 4);
+    assert_eq!(t.breaker, BreakerState::Closed);
+}

@@ -560,3 +560,85 @@ fn stats_snapshots_conserve_requests_under_load() {
     assert_eq!(stats.in_flight, 0, "no request may remain in flight");
     assert_eq!(stats.failed, 0);
 }
+
+/// `wait_timeout` covers both sides of the expired-then-completed race:
+/// `None` while pending (the caller keeps the handle), `Some` once done,
+/// and a subsequent `wait` still consumes the result exactly once.
+#[test]
+fn wait_timeout_reports_pending_then_completion() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let server = ServeDriver::with_options(
+        program.clone(),
+        ServeOptions {
+            max_batch: 8,
+            // Long linger: the request stays pending until we've sampled it.
+            max_wait: Duration::from_millis(100),
+            workers: 0,
+        },
+    );
+
+    let handle = server.submit(item(0), &["Y"]);
+    // Pending: a zero-ish timeout must return None without consuming.
+    assert!(
+        handle.wait_timeout(Duration::ZERO).is_none(),
+        "a pending request must time out, not resolve"
+    );
+    assert!(!handle.is_done());
+    // Completion: a generous timeout observes the result...
+    let observed = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("request must complete within the linger window");
+    let expected = serial_reference(&program, 1);
+    assert_eq!(bits(&observed.unwrap().outputs["Y"]), bits(&expected[0]));
+    // ...and does not consume it: the handle still resolves through the
+    // one-shot paths afterwards.
+    assert!(handle.is_done());
+    assert!(handle.try_wait().is_some());
+    assert!(handle.wait().is_ok());
+}
+
+/// `set_max_batch` can *lower* a live driver's cap (clamped to >= 1): new
+/// dispatches respect the narrower bound and the warm pool is trimmed to
+/// it, while `raise_max_batch` still only widens.
+#[test]
+fn set_max_batch_lowers_cap_and_trims_pool() {
+    let (sdfg, syms) = elementwise_program();
+    let program = compile(&sdfg, &syms).unwrap();
+    let server = ServeDriver::with_options(
+        program.clone(),
+        ServeOptions {
+            max_batch: 6,
+            max_wait: Duration::from_millis(2),
+            workers: 0,
+        },
+    );
+    server.warm(6);
+    assert_eq!(server.batch_driver().pooled_sessions(), 6);
+
+    server.set_max_batch(2);
+    assert_eq!(server.options().max_batch, 2);
+    assert_eq!(
+        server.batch_driver().pooled_sessions(),
+        2,
+        "lowering the cap must trim idle warm sessions down with it"
+    );
+    // raise_max_batch never narrows; set_max_batch(0) clamps to 1.
+    server.raise_max_batch(1);
+    assert_eq!(server.options().max_batch, 2);
+    server.set_max_batch(0);
+    assert_eq!(server.options().max_batch, 1);
+
+    // The narrowed cap binds dispatch width: with serial workers and a
+    // linger window, 5 requests can never ride in one batch of > 1.
+    let handles: Vec<_> = (0..5).map(|i| server.submit(item(i), &["Y"])).collect();
+    let expected = serial_reference(&program, 5);
+    for (i, handle) in handles.into_iter().enumerate() {
+        let response = handle.wait().unwrap();
+        assert_eq!(bits(&response.outputs["Y"]), bits(&expected[i]));
+        assert_eq!(
+            response.batched_with, 1,
+            "a cap of 1 must serialise dispatches"
+        );
+    }
+}
