@@ -739,7 +739,7 @@ pub(crate) mod tests {
         assert!(report.recomputed.contains(&"A0".to_string()));
         assert!(report.recomputed.contains(&"A2".to_string()));
         assert!(!plan.free_hints.is_empty());
-        plan.sdfg.validate().unwrap();
+        plan.sdfg.validate_strict().unwrap();
         // Recomputing A2 costs more than recomputing A0 (longer dependency chain).
         let c0 = report.costs.iter().find(|c| c.array == "A0").unwrap();
         let c2 = report.costs.iter().find(|c| c.array == "A2").unwrap();

@@ -74,6 +74,8 @@
 //! assert_eq!(batch.batch.plan_cache.misses, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod engine;
 pub mod reverse;

@@ -137,7 +137,7 @@ pub fn generate_backward(
     top.extend(flatten(bwd_cf));
     ctx.out.cfg = ControlFlow::Sequence(top);
     ctx.out
-        .validate()
+        .validate_strict()
         .map_err(|e| AdError::Malformed(e.to_string()))?;
 
     Ok(BackwardPlan {
@@ -1471,7 +1471,7 @@ mod tests {
             .sdfg
             .arrays
             .contains_key(plan.gradient_of("X").unwrap()));
-        plan.sdfg.validate().unwrap();
+        plan.sdfg.validate_strict().unwrap();
     }
 
     #[test]
@@ -1524,7 +1524,7 @@ mod tests {
             !plan.stored.is_empty(),
             "in-place non-linear loop update must allocate at least one tape"
         );
-        plan.sdfg.validate().unwrap();
+        plan.sdfg.validate_strict().unwrap();
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl ProgramBuilder {
         assert_eq!(self.frames.len(), 1, "unclosed control-flow region");
         let items = self.frames.pop().unwrap();
         self.sdfg.cfg = ControlFlow::Sequence(items);
-        self.sdfg.validate()?;
+        self.sdfg.validate_strict()?;
         Ok(self.sdfg)
     }
 

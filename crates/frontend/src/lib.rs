@@ -6,6 +6,8 @@
 //! program; the statement count is the "lines of code" proxy used by the
 //! Fig. 11 program-size comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod expr;
 

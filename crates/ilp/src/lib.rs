@@ -17,6 +17,8 @@
 //!   marked as binary, with an exhaustive-search fallback used in tests to
 //!   cross-validate optimality.
 
+#![forbid(unsafe_code)]
+
 pub mod ilp;
 pub mod lp;
 

@@ -28,6 +28,17 @@
 //!         [--max-wait-ms W] [--kernel atax,jacobi2d] [--preset test]
 //! ```
 //!
+//! Verify mode (`--verify`) runs the static SDFG verifier and the affine
+//! dependence analyzer over every selected kernel instead of executing
+//! anything, printing a per-kernel table of diagnostics and per-map
+//! parallelism verdicts.  The process exits non-zero if any kernel produces
+//! an error-severity diagnostic or a proven `Race` verdict — the CI verify
+//! step asserts the whole suite is clean:
+//!
+//! ```text
+//! npbench --verify [--kernel atax,jacobi2d] [--preset test]
+//! ```
+//!
 //! Gateway mode (`--gateway CLIENTS`) is the multi-tenant chaos smoke: every
 //! selected kernel registers as a tenant on one shared `Gateway`, `CLIENTS`
 //! threads submit round-robin across tenants (every third request carries
@@ -64,6 +75,7 @@ struct Args {
     max_batch: usize,
     max_wait_ms: f64,
     gateway: Option<usize>,
+    verify: bool,
     queue_cap: usize,
     retry_budget: u32,
     inject_panic_every: Option<u64>,
@@ -97,6 +109,11 @@ Options:
                            (default: 8)
   --max-wait-ms W          serve mode: admission-queue linger window in
                            milliseconds (default: 2)
+  --verify                 static-analysis mode: run the SDFG verifier and
+                           the affine dependence analyzer over the selected
+                           kernels (no execution) and print per-kernel
+                           diagnostics and per-map verdicts; exits non-zero
+                           on any error diagnostic or proven race
   --gateway CLIENTS        multi-tenant chaos mode: register every selected
                            kernel as a tenant on one shared Gateway and
                            hammer it from CLIENTS threads (--requests per
@@ -130,6 +147,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         max_batch: 8,
         max_wait_ms: 2.0,
         gateway: None,
+        verify: false,
         queue_cap: 32,
         retry_budget: 2,
         inject_panic_every: None,
@@ -208,6 +226,10 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-wait-ms value: {e}"))?;
                 i += 2;
+            }
+            "--verify" => {
+                args.verify = true;
+                i += 1;
             }
             "--gateway" => {
                 args.gateway = Some(
@@ -386,6 +408,74 @@ fn run_serve(
     Ok(())
 }
 
+/// Collect every map scope in `graph` (including maps nested in map bodies)
+/// and the analyzer's verdict for it under `bindings`.
+fn map_verdicts(
+    graph: &dace_sdfg::DataflowGraph,
+    bindings: &std::collections::HashMap<String, i64>,
+    out: &mut Vec<dace_sdfg::ParVerdict>,
+) {
+    for node in &graph.nodes {
+        if let dace_sdfg::DfNode::MapScope(m) = node {
+            out.push(dace_sdfg::analyze_map(m, bindings));
+            map_verdicts(&m.body, bindings, out);
+        }
+    }
+}
+
+fn run_verify(kernels: &[Box<dyn Kernel>], preset: Preset) -> Result<(), String> {
+    use dace_sdfg::{ParVerdict, Severity};
+    println!(
+        "{:<12} {:>7} {:>9} {:>5} {:>5} {:>10} {:>5} {:>8}",
+        "kernel", "errors", "warnings", "maps", "safe", "reduction", "race", "unknown"
+    );
+    let mut dirty = 0usize;
+    for kernel in kernels {
+        let sizes = kernel.sizes(preset);
+        let sdfg = kernel.build_dace(&sizes);
+        let bindings = kernel.symbols(&sizes);
+        let diags = sdfg.validate();
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let mut verdicts = Vec::new();
+        for st in &sdfg.states {
+            map_verdicts(&st.graph, &bindings, &mut verdicts);
+        }
+        let count = |v: fn(&ParVerdict) -> bool| verdicts.iter().filter(|x| v(x)).count();
+        let races = count(|v| matches!(v, ParVerdict::Race(_)));
+        println!(
+            "{:<12} {:>7} {:>9} {:>5} {:>5} {:>10} {:>5} {:>8}",
+            kernel.name(),
+            errors,
+            diags.len() - errors,
+            verdicts.len(),
+            count(|v| *v == ParVerdict::Safe),
+            count(|v| *v == ParVerdict::Reduction),
+            races,
+            count(|v| *v == ParVerdict::Unknown),
+        );
+        for d in &diags {
+            println!("             {d}");
+        }
+        for v in &verdicts {
+            if let ParVerdict::Race(c) = v {
+                println!("             race on `{}`: {c}", c.array);
+            }
+        }
+        if errors > 0 || races > 0 {
+            dirty += 1;
+        }
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty} kernel(s) failed verification (error diagnostics or proven races)"
+        ));
+    }
+    Ok(())
+}
+
 fn run_gateway(kernels: &[Box<dyn Kernel>], preset: Preset, args: &Args) -> Result<(), String> {
     let load = GatewayLoad {
         clients: args.gateway.unwrap_or(6),
@@ -520,7 +610,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = if args.gateway.is_some() {
+    let result = if args.verify {
+        run_verify(&kernels, args.preset)
+    } else if args.gateway.is_some() {
         run_gateway(&kernels, args.preset, &args)
     } else if let Some(rps) = args.serve {
         run_serve(

@@ -14,6 +14,8 @@
 //! suite.  The benchmark harness (`dace-bench`) times both to regenerate the
 //! paper's figures.
 
+#![forbid(unsafe_code)]
+
 pub mod loops;
 pub mod runner;
 pub mod vectorized;

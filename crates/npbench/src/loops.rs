@@ -646,7 +646,7 @@ mod tests {
             assert_eq!(k.category(), Category::Loops);
             let sizes = k.sizes(Preset::Test);
             let sdfg = k.build_dace(&sizes);
-            sdfg.validate().unwrap();
+            sdfg.validate_strict().unwrap();
             assert!(sdfg.arrays.contains_key("OUT"));
         }
     }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use dace_sdfg::SymError;
+use dace_sdfg::{Diagnostic, SymError};
 use dace_tensor::TensorError;
 
 /// Errors raised while executing an SDFG.
@@ -34,6 +34,9 @@ pub enum RuntimeError {
     CyclicGraph(String),
     /// Structural error (missing connectors, wrong library usage, ...).
     Malformed(String),
+    /// The static verifier rejected the SDFG before lowering.  Carries
+    /// every error-severity diagnostic (warnings are not included).
+    InvalidSdfg { diagnostics: Vec<Diagnostic> },
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +64,17 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Tasklet(m) => write!(f, "tasklet evaluation error: {m}"),
             RuntimeError::CyclicGraph(s) => write!(f, "cyclic dataflow graph in state `{s}`"),
             RuntimeError::Malformed(m) => write!(f, "malformed SDFG: {m}"),
+            RuntimeError::InvalidSdfg { diagnostics } => {
+                write!(
+                    f,
+                    "SDFG failed validation with {} error(s):",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

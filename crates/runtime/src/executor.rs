@@ -541,9 +541,16 @@ impl RunState {
             }
         }
 
+        // The parallel path is gated on the affine dependence verdict
+        // computed at lowering: `Safe` and `Reduction` maps are provably
+        // bit-identical under the snapshot/buffered-write scheme, while
+        // `Race` and `Unknown` maps run sequentially even when explicitly
+        // requested via `MapPath::Parallel`.
         let use_parallel = match self.path {
-            MapPath::Auto => m.parallel && total >= PARALLEL_MAP_THRESHOLD && m.parallel_safe,
-            MapPath::Parallel => m.parallel_safe,
+            MapPath::Auto => {
+                m.parallel && total >= PARALLEL_MAP_THRESHOLD && m.verdict.allows_parallel()
+            }
+            MapPath::Parallel => m.verdict.allows_parallel(),
             MapPath::Sequential => false,
         };
         if use_parallel {
@@ -712,13 +719,14 @@ impl RunState {
         let chunk = total.div_ceil(n_chunks);
         let slab = &self.slab;
         let base_syms = &self.syms;
-        let results: Result<Vec<Vec<BufferedWrite>>, RuntimeError> = (0..n_chunks)
+        let results: Result<Vec<(Vec<BufferedWrite>, AccessLog)>, RuntimeError> = (0..n_chunks)
             .into_par_iter()
             .map(|c| {
                 let lo = c * chunk;
                 let hi = ((c + 1) * chunk).min(total);
+                let mut log = AccessLog::default();
                 if lo >= hi {
-                    return Ok(Vec::new());
+                    return Ok((Vec::new(), log));
                 }
                 let mut syms = base_syms.clone();
                 let mut scratch = Scratch::default();
@@ -727,19 +735,34 @@ impl RunState {
                 for (d, &p) in m.params.iter().enumerate() {
                     syms.set(p, lows[d] + counters[d] as i64);
                 }
+                let mut iter = lo;
                 let mut remaining = hi - lo;
                 loop {
-                    eval_body_readonly(plan, &m.body, slab, &syms, &mut scratch, &mut writes)?;
+                    eval_body_readonly(
+                        plan,
+                        &m.body,
+                        slab,
+                        &syms,
+                        &mut scratch,
+                        &mut writes,
+                        iter,
+                        &mut log,
+                    )?;
                     remaining -= 1;
                     if remaining == 0 {
                         break;
                     }
+                    iter += 1;
                     advance_odometer(&mut counters, &mut syms, &m.params, lows, sizes);
                 }
-                Ok(writes)
+                Ok((writes, log))
             })
             .collect();
-        for chunk_writes in results? {
+        let chunks = results?;
+        if cfg!(feature = "race-check") {
+            check_race_free(plan, &chunks);
+        }
+        for (chunk_writes, _) in chunks {
             for w in chunk_writes {
                 let t = self.slab[w.array as usize].as_mut().ok_or_else(|| {
                     RuntimeError::UnknownArray(plan.arrays.names[w.array as usize].clone())
@@ -917,8 +940,56 @@ fn flat_offset(
     Ok(flat)
 }
 
+/// Shadow access log of the `race-check` dynamic detector: one entry per
+/// snapshot read and per buffered write, tagged with the flat iteration
+/// index.  Populated only when the `race-check` feature is enabled (the
+/// vectors stay empty — and the branches fold away — otherwise).
+#[derive(Default)]
+struct AccessLog {
+    /// `(array, flat offset, flat iteration index)` per snapshot read.
+    reads: Vec<(u32, usize, usize)>,
+    /// `(array, flat offset, flat iteration index, accumulate)` per write.
+    writes: Vec<(u32, usize, usize, bool)>,
+}
+
+/// Cross-validate a static `Safe`/`Reduction` verdict against the observed
+/// accesses of one parallel map execution: no two *distinct* iterations may
+/// touch the same element unless both touches are accumulating writes.
+/// Panics on violation — that means the dependence analyzer admitted a racy
+/// map and must be fixed.
+fn check_race_free(plan: &ExecPlan, chunks: &[(Vec<BufferedWrite>, AccessLog)]) {
+    // (array, flat) -> (iteration, accumulate) of a previous write.
+    let mut writes: HashMap<(u32, usize), (usize, bool)> = HashMap::new();
+    let conflict = |array: u32, what: &str| -> ! {
+        panic!(
+            "race-check: the dependence analyzer admitted a parallel map, but two \
+             iterations touched the same element of `{}` ({what})",
+            plan.arrays.names[array as usize]
+        )
+    };
+    for (_, log) in chunks {
+        for &(array, flat, iter, acc) in &log.writes {
+            if let Some((prev_iter, prev_acc)) = writes.insert((array, flat), (iter, acc)) {
+                if prev_iter != iter && !(acc && prev_acc) {
+                    conflict(array, "conflicting writes");
+                }
+            }
+        }
+    }
+    for (_, log) in chunks {
+        for &(array, flat, iter) in &log.reads {
+            if let Some(&(w_iter, _)) = writes.get(&(array, flat)) {
+                if w_iter != iter {
+                    conflict(array, "a read overlapping another iteration's write");
+                }
+            }
+        }
+    }
+}
+
 /// Evaluate a tasklet-only body against an immutable array snapshot,
 /// appending the buffered writes.
+#[allow(clippy::too_many_arguments)]
 fn eval_body_readonly(
     plan: &ExecPlan,
     body: &PlanGraph,
@@ -926,6 +997,8 @@ fn eval_body_readonly(
     syms: &SymFile,
     scratch: &mut Scratch,
     writes: &mut Vec<BufferedWrite>,
+    iter: usize,
+    log: &mut AccessLog,
 ) -> RuntimeResult<()> {
     for &n in &body.order {
         let t = match &body.nodes[n] {
@@ -938,6 +1011,16 @@ fn eval_body_readonly(
         for r in &t.reads {
             let v = read_access(plan, slab, syms, &mut scratch.i_regs, r.array, &r.access)?;
             scratch.slots[r.slot as usize] = v;
+            if cfg!(feature = "race-check") {
+                let flat = match &r.access {
+                    PlanAccess::All => 0,
+                    PlanAccess::Element(idx) => {
+                        let layout = plan.arrays.layout(r.array)?;
+                        flat_offset(plan, syms, &mut scratch.i_regs, r.array, idx, layout)?
+                    }
+                };
+                log.reads.push((r.array, flat, iter));
+            }
         }
         load_iters(plan, syms, &mut scratch.slots, &t.iter_loads)?;
         scratch.outs.clear();
@@ -964,6 +1047,9 @@ fn eval_body_readonly(
                     flat_offset(plan, syms, &mut scratch.i_regs, w.array, idx, layout)?
                 }
             };
+            if cfg!(feature = "race-check") {
+                log.writes.push((w.array, flat, iter, w.accumulate));
+            }
             writes.push(BufferedWrite {
                 array: w.array,
                 flat,
@@ -1020,7 +1106,8 @@ mod tests {
     use super::*;
     use dace_sdfg::{
         ArrayDesc, BranchRegion, CmpOp, CondExpr, CondOperand, ControlFlow, DataflowGraph,
-        LoopRegion, MapScope, Memlet, ScalarExpr as E, State, SymExpr, Tasklet,
+        IndexRange, LoopRegion, MapScope, Memlet, ParVerdict, ScalarExpr as E, State, Subset,
+        SymExpr, Tasklet, Wcr,
     };
 
     fn symbols(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
@@ -1195,6 +1282,298 @@ mod tests {
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0], "paths disagree on results");
         }
+    }
+
+    /// The dependence verdict of the single map node in `sdfg`'s plan.
+    fn map_verdict(sdfg: &Sdfg, syms: &HashMap<String, i64>) -> ParVerdict {
+        let plan = crate::plan::compile_plan(sdfg, syms);
+        for st in &plan.states {
+            for n in &st.nodes {
+                if let PlanNode::Map(m) = n {
+                    return m.verdict.clone();
+                }
+            }
+        }
+        panic!("no map node in lowered plan");
+    }
+
+    /// A parallel map accumulating into a fixed element (`A[0] = A[0] + X[i]`
+    /// without WCR) passed the old syntactic heuristic and raced across
+    /// workers.  The dependence analyzer classifies it `Race` and forces the
+    /// sequential path, so results are bit-identical however the path is
+    /// requested.
+    #[test]
+    fn fixed_element_rmw_map_is_forced_sequential() {
+        let build = || {
+            let mut sdfg = Sdfg::new("rmw_scalar");
+            sdfg.add_symbol("N");
+            sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+                .unwrap();
+            sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::int(1)]))
+                .unwrap();
+            let mut body = DataflowGraph::new();
+            let rx = body.add_access("X");
+            let ra = body.add_access("A");
+            let t = body.add_tasklet(Tasklet::new("acc", "o", E::input("a").add(E::input("x"))));
+            let wa = body.add_access("A");
+            body.add_edge(
+                rx,
+                None,
+                t,
+                Some("x"),
+                Memlet::element("X", vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(
+                ra,
+                None,
+                t,
+                Some("a"),
+                Memlet::element("A", vec![SymExpr::int(0)]),
+            );
+            body.add_edge(
+                t,
+                Some("o"),
+                wa,
+                None,
+                Memlet::element("A", vec![SymExpr::int(0)]),
+            );
+            let mut g = DataflowGraph::new();
+            let rn = g.add_access("X");
+            let an = g.add_access("A");
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("A");
+            g.add_edge(rn, None, m, None, Memlet::all("X"));
+            g.add_edge(an, None, m, None, Memlet::all("A"));
+            g.add_edge(m, None, wn, None, Memlet::all("A"));
+            let sid = sdfg.add_state(State {
+                name: "s".into(),
+                graph: g,
+            });
+            sdfg.cfg = ControlFlow::State(sid);
+            sdfg
+        };
+        let n = 64usize;
+        let syms = symbols(&[("N", n as i64)]);
+        assert!(matches!(map_verdict(&build(), &syms), ParVerdict::Race(_)));
+
+        let x = dace_tensor::random::uniform(&[n], 17);
+        let mut outs = Vec::new();
+        for path in [MapPath::Sequential, MapPath::Parallel] {
+            let mut ex = mk_session(&build(), &syms).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            ex.set_input("A", Tensor::from_vec(vec![10.0], &[1]).unwrap())
+                .unwrap();
+            ex.run().unwrap();
+            outs.push(ex.array("A").unwrap().data().to_vec());
+        }
+        assert_eq!(outs[0], outs[1], "forced-parallel RMW diverged");
+        // And the value really is the sequential accumulation.
+        let expected = x.data().iter().fold(10.0, |a, &v| a + v);
+        assert_eq!(outs[0][0], expected);
+    }
+
+    /// A parallel map writing a whole-array (scalar) subset every iteration
+    /// is likewise a race: last-iteration-wins only holds sequentially.
+    #[test]
+    fn whole_array_write_map_is_forced_sequential() {
+        let build = || {
+            let mut sdfg = Sdfg::new("scalar_overwrite");
+            sdfg.add_symbol("N");
+            sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+                .unwrap();
+            sdfg.add_array("S", ArrayDesc::input(vec![SymExpr::int(1)]))
+                .unwrap();
+            let mut body = DataflowGraph::new();
+            let rx = body.add_access("X");
+            let t = body.add_tasklet(Tasklet::new("last", "o", E::input("x")));
+            let ws = body.add_access("S");
+            body.add_edge(
+                rx,
+                None,
+                t,
+                Some("x"),
+                Memlet::element("X", vec![SymExpr::sym("i")]),
+            );
+            body.add_edge(t, Some("o"), ws, None, Memlet::all("S"));
+            let mut g = DataflowGraph::new();
+            let rn = g.add_access("X");
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("S");
+            g.add_edge(rn, None, m, None, Memlet::all("X"));
+            g.add_edge(m, None, wn, None, Memlet::all("S"));
+            let sid = sdfg.add_state(State {
+                name: "s".into(),
+                graph: g,
+            });
+            sdfg.cfg = ControlFlow::State(sid);
+            sdfg
+        };
+        let n = 32usize;
+        let syms = symbols(&[("N", n as i64)]);
+        assert!(matches!(map_verdict(&build(), &syms), ParVerdict::Race(_)));
+        let x = dace_tensor::random::uniform(&[n], 23);
+        for path in [MapPath::Sequential, MapPath::Parallel] {
+            let mut ex = mk_session(&build(), &syms).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            ex.run().unwrap();
+            // Sequential semantics: the last iteration's value sticks.
+            assert_eq!(ex.array("S").unwrap().data(), &[x.data()[n - 1]]);
+        }
+    }
+
+    /// A strided injective write (`A[2*i+1]`) fed by a *ranged* read
+    /// (`X[i:i+1]`) was kept sequential by the old heuristic (any non-element
+    /// subset edge failed it).  The analyzer proves it `Safe`, so the map now
+    /// takes the parallel path — with bit-identical results.
+    #[test]
+    fn strided_injective_map_is_newly_parallel() {
+        let build = || {
+            let mut sdfg = Sdfg::new("strided");
+            sdfg.add_symbol("N");
+            sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+                .unwrap();
+            sdfg.add_array(
+                "A",
+                ArrayDesc::input(vec![SymExpr::sym("N").mul_int(2).add_int(1)]),
+            )
+            .unwrap();
+            let i = SymExpr::sym("i");
+            let mut body = DataflowGraph::new();
+            let rx = body.add_access("X");
+            let t = body.add_tasklet(Tasklet::new("sc", "o", E::input("x").mul(E::c(3.0))));
+            let wa = body.add_access("A");
+            body.add_edge(
+                rx,
+                None,
+                t,
+                Some("x"),
+                Memlet {
+                    data: "X".into(),
+                    subset: Subset(vec![IndexRange::range(i.clone(), i.add_int(1))]),
+                    wcr: None,
+                },
+            );
+            body.add_edge(
+                t,
+                Some("o"),
+                wa,
+                None,
+                Memlet::element("A", vec![i.mul_int(2).add_int(1)]),
+            );
+            let mut g = DataflowGraph::new();
+            let rn = g.add_access("X");
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("A");
+            g.add_edge(rn, None, m, None, Memlet::all("X"));
+            g.add_edge(m, None, wn, None, Memlet::all("A"));
+            let sid = sdfg.add_state(State {
+                name: "s".into(),
+                graph: g,
+            });
+            sdfg.cfg = ControlFlow::State(sid);
+            sdfg
+        };
+        let n = 100usize;
+        let syms = symbols(&[("N", n as i64)]);
+        assert_eq!(map_verdict(&build(), &syms), ParVerdict::Safe);
+
+        let x = dace_tensor::random::uniform(&[n], 41);
+        let mut outs = Vec::new();
+        for path in [MapPath::Sequential, MapPath::Parallel] {
+            let mut ex = mk_session(&build(), &syms).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            ex.set_input("A", Tensor::zeros(&[2 * n + 1])).unwrap();
+            ex.run().unwrap();
+            outs.push(ex.array("A").unwrap().data().to_vec());
+        }
+        assert_eq!(outs[0], outs[1], "parallel strided write diverged");
+        for (k, &v) in outs[0].iter().enumerate() {
+            if k % 2 == 1 {
+                assert_eq!(v, x.data()[(k - 1) / 2] * 3.0);
+            } else {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    /// A WCR-sum accumulation into one element is a `Reduction`: admitted to
+    /// the parallel path and bit-identical to sequential accumulation (the
+    /// buffered writes apply in flat iteration order).  Under
+    /// `--features race-check` this also exercises the dynamic detector on
+    /// an accumulate-only overlap, which it must accept.
+    #[test]
+    fn wcr_reduction_map_is_parallel_and_bit_identical() {
+        let build = || {
+            let mut sdfg = Sdfg::new("wcr_sum");
+            sdfg.add_symbol("N");
+            sdfg.add_array("X", ArrayDesc::input(vec![SymExpr::sym("N")]))
+                .unwrap();
+            sdfg.add_array("A", ArrayDesc::input(vec![SymExpr::int(1)]))
+                .unwrap();
+            let mut body = DataflowGraph::new();
+            let rx = body.add_access("X");
+            let t = body.add_tasklet(Tasklet::new("add", "o", E::input("x")));
+            let wa = body.add_access("A");
+            body.add_edge(
+                rx,
+                None,
+                t,
+                Some("x"),
+                Memlet::element("X", vec![SymExpr::sym("i")]),
+            );
+            let mut wm = Memlet::element("A", vec![SymExpr::int(0)]);
+            wm.wcr = Some(Wcr::Sum);
+            body.add_edge(t, Some("o"), wa, None, wm);
+            let mut g = DataflowGraph::new();
+            let rn = g.add_access("X");
+            let m = g.add_map(MapScope {
+                params: vec!["i".into()],
+                ranges: vec![(SymExpr::int(0), SymExpr::sym("N"))],
+                body,
+                parallel: true,
+            });
+            let wn = g.add_access("A");
+            g.add_edge(rn, None, m, None, Memlet::all("X"));
+            g.add_edge(m, None, wn, None, Memlet::all("A"));
+            let sid = sdfg.add_state(State {
+                name: "s".into(),
+                graph: g,
+            });
+            sdfg.cfg = ControlFlow::State(sid);
+            sdfg
+        };
+        let n = 512usize;
+        let syms = symbols(&[("N", n as i64)]);
+        assert_eq!(map_verdict(&build(), &syms), ParVerdict::Reduction);
+        let x = dace_tensor::random::uniform(&[n], 7);
+        let mut outs = Vec::new();
+        for path in [MapPath::Sequential, MapPath::Parallel] {
+            let mut ex = mk_session(&build(), &syms).unwrap();
+            ex.force_map_path(path);
+            ex.set_input("X", x.clone()).unwrap();
+            ex.set_input("A", Tensor::zeros(&[1])).unwrap();
+            ex.run().unwrap();
+            outs.push(ex.array("A").unwrap().data().to_vec());
+        }
+        assert_eq!(outs[0], outs[1], "WCR reduction diverged across paths");
     }
 
     /// A tasklet with two out-edges must count as ONE evaluation per index
@@ -1717,9 +2096,12 @@ mod tests {
             graph: g,
         });
         sdfg.cfg = ControlFlow::State(sid);
-        let mut ex = mk_session(&sdfg, &HashMap::new()).unwrap();
-        ex.set_input("A", Tensor::zeros(&[2])).unwrap();
-        assert!(matches!(ex.run(), Err(RuntimeError::BadIndex { .. })));
+        // The static verifier catches the constant out-of-bounds index at
+        // compile time now, before the executor ever runs.
+        assert!(matches!(
+            mk_session(&sdfg, &HashMap::new()),
+            Err(RuntimeError::InvalidSdfg { .. })
+        ));
     }
 
     /// A transient bound via `set_input` provides the initial contents (the

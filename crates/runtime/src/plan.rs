@@ -18,7 +18,8 @@
 //!   register-based [`CompiledExpr`] instruction sequences with connector
 //!   and iteration-symbol references resolved to slot indices;
 //! * per-graph topological orders, map element-wise fast-path eligibility
-//!   and parallel-safety are all decided once.
+//!   and the affine dependence verdict ([`dace_sdfg::analyze_map`]) that
+//!   gates the parallel path are all decided once.
 //!
 //! Lowering never fails eagerly: constructs that the old interpreter would
 //! only reject *when executed* (missing connectors, unknown arrays, cyclic
@@ -367,8 +368,8 @@ pub(crate) struct PlanMap {
     /// Arrays referenced by the body (pre-allocated before iteration).
     pub referenced: Vec<u32>,
     pub parallel: bool,
-    /// Structural precondition of the snapshot-based parallel path.
-    pub parallel_safe: bool,
+    /// Affine dependence verdict gating the snapshot-based parallel path.
+    pub verdict: dace_sdfg::ParVerdict,
     /// Tasklet count of one body execution (for invocation accounting).
     pub body_tasklets: u64,
     pub elementwise: Option<PlanElementwise>,
@@ -475,6 +476,9 @@ struct Lowerer {
     syms: SymTable,
     init_syms: SymFile,
     specs: Vec<SpecKernel>,
+    /// Concrete symbol values the plan is specialized for; the dependence
+    /// analyzer resolves symbolic strides/offsets through them.
+    bindings: HashMap<String, i64>,
 }
 
 /// Compile an SDFG into an execution plan under concrete symbol values.
@@ -519,6 +523,7 @@ pub(crate) fn compile_plan(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> ExecP
         syms: SymTable::default(),
         init_syms: SymFile::default(),
         specs: Vec::new(),
+        bindings: symbols.clone(),
     };
 
     // Intern every provided symbol value (sorted for deterministic slots);
@@ -816,16 +821,11 @@ impl Lowerer {
             referenced.push(self.array(&name)?);
         }
         let body = self.lower_graph(&map.body);
-        let parallel_safe = map
-            .body
-            .nodes
-            .iter()
-            .all(|n| matches!(n, DfNode::Access(_) | DfNode::Tasklet(_)))
-            && map
-                .body
-                .edges
-                .iter()
-                .all(|e| e.memlet.subset.is_element() || e.memlet.subset.is_all());
+        // The affine dependence analyzer replaces the old syntactic
+        // `parallel_safe` heuristic: it rejects provably racy bodies (fixed
+        // element or whole-array writes) and admits provably injective
+        // strided/offset writes the heuristic had no way to reason about.
+        let verdict = dace_sdfg::analyze_map(map, &self.bindings);
         let body_tasklets = map
             .body
             .nodes
@@ -852,7 +852,7 @@ impl Lowerer {
             body,
             referenced,
             parallel: map.parallel,
-            parallel_safe,
+            verdict,
             body_tasklets,
             elementwise,
             spec,
@@ -1030,6 +1030,19 @@ impl Lowerer {
             seen_slots.push(r.slot);
             match &r.access {
                 PlanAccess::Element(_) => {
+                    // Reads aliasing the written array are only specialized
+                    // when the write/read relation is statically decidable
+                    // (a constant offset along `var`); anything symbolic
+                    // falls back to the VM, which tracks writes exactly.
+                    if r.array == out_array
+                        && !dace_sdfg::deps::alias_decidable(
+                            &out_edges[0].memlet.subset,
+                            &e.memlet.subset,
+                            var,
+                        )
+                    {
+                        return None;
+                    }
                     reads.push((
                         r.slot,
                         self.lower_affine_subset(&e.memlet.subset, var, r.array)?,

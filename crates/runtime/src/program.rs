@@ -288,12 +288,23 @@ fn fingerprint_sdfg(sdfg: &Sdfg) -> u64 {
 /// only the first call pays the lowering cost.
 ///
 /// # Errors
-/// [`RuntimeError::MissingSymbol`] when a declared symbol has no value.
+/// [`RuntimeError::MissingSymbol`] when a declared symbol has no value, and
+/// [`RuntimeError::InvalidSdfg`] when the static verifier finds
+/// error-severity diagnostics (dangling edges, unknown arrays, rank
+/// mismatches, constant out-of-bounds indices, ...).
 pub fn compile(sdfg: &Sdfg, symbols: &HashMap<String, i64>) -> RuntimeResult<CompiledProgram> {
     for s in &sdfg.symbols {
         if !symbols.contains_key(s) {
             return Err(RuntimeError::MissingSymbol(s.clone()));
         }
+    }
+    let diagnostics: Vec<_> = sdfg
+        .validate()
+        .into_iter()
+        .filter(|d| d.severity == dace_sdfg::Severity::Error)
+        .collect();
+    if !diagnostics.is_empty() {
+        return Err(RuntimeError::InvalidSdfg { diagnostics });
     }
     let fingerprint = fingerprint_sdfg(sdfg);
     let echo = StructuralEcho::of(sdfg);

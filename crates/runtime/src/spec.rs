@@ -26,7 +26,10 @@
 //!   `tests/spec.rs` pin down.
 //! * **Aliasing-aware.**  Reads of the written array go through the output
 //!   buffer being mutated, preserving Gauss–Seidel-style read-after-write
-//!   order within the loop.
+//!   order within the loop.  Recognition only admits such aliased reads
+//!   when [`dace_sdfg::deps::alias_decidable`] proves the write/read
+//!   offset relation is statically understood (see
+//!   `docs/verification.md`); anything else stays on the VM.
 //!
 //! Dispatch is profile-guided ([`SpecMode::Auto`]): a site runs on the VM
 //! for its first [`SPEC_UPGRADE_THRESHOLD`] dispatch opportunities, then

@@ -428,7 +428,7 @@ mod tests {
                 ControlFlow::State(s2_id),
             ])),
         });
-        sdfg.validate().unwrap();
+        sdfg.validate_strict().unwrap();
         sdfg
     }
 

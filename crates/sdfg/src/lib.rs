@@ -22,6 +22,10 @@
 //! The [`analysis`] module implements the critical computation subgraph
 //! (CCS) extraction of Section II plus the access summaries and cost
 //! estimates used by the AD engine and the ILP checkpointing model.
+//! The [`verify`] module is the structural verifier ([`sdfg::Sdfg::validate`]
+//! returns located [`verify::Diagnostic`]s) and [`deps`] is the affine
+//! dependence/race analyzer whose [`deps::ParVerdict`] the runtime uses as
+//! its parallel-safety oracle.
 //!
 //! # Invariants
 //!
@@ -50,15 +54,20 @@
 //! assert_eq!(bound.eval(&vals).unwrap(), 17);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
+pub mod deps;
 pub mod graph;
 pub mod memlet;
 pub mod scalar_expr;
 pub mod sdfg;
 pub mod symexpr;
 pub mod tasklet;
+pub mod verify;
 
 pub use analysis::{compute_ccs, is_full_overwrite, summarize_accesses, AccessSummary, CcsInfo};
+pub use deps::{analyze_map, AffineAccess, Conflict, ParVerdict};
 pub use graph::{DataflowGraph, DfNode, Edge, LibraryOp, MapScope, NodeId};
 pub use memlet::{IndexRange, Memlet, Subset, SubsetClass, Wcr};
 pub use scalar_expr::{BinOp, CompiledExpr, ExprOp, LeafRef, MicroPattern, ScalarExpr, UnOp};
@@ -68,3 +77,4 @@ pub use sdfg::{
 };
 pub use symexpr::{SymError, SymExpr};
 pub use tasklet::Tasklet;
+pub use verify::{DiagCode, Diagnostic, Severity};

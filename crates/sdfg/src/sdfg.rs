@@ -403,32 +403,8 @@ impl Sdfg {
         }
     }
 
-    /// Validate structural invariants: every referenced array is declared,
-    /// every state has an acyclic dataflow graph, control flow references
-    /// valid states.
-    pub fn validate(&self) -> Result<(), SdfgError> {
-        for id in self.cfg.states_in_order() {
-            if id >= self.states.len() {
-                return Err(SdfgError::UnknownState(id));
-            }
-        }
-        let iterators = self.cfg.loop_iterators();
-        for state in &self.states {
-            if state.graph.topological_order().is_none() {
-                return Err(SdfgError::CyclicState(state.name.clone()));
-            }
-            for array in state.graph.referenced_arrays() {
-                if !self.arrays.contains_key(&array) {
-                    return Err(SdfgError::UnknownArray(array));
-                }
-            }
-            // All memlet subset symbols must be SDFG symbols, loop iterators
-            // or map parameters of an enclosing scope; map parameters are
-            // checked during execution, so only flag obviously unknown names.
-            let _ = &iterators;
-        }
-        Ok(())
-    }
+    // Structural validation lives in `crate::verify`: `validate()` returns
+    // located diagnostics, `validate_strict()` the legacy typed error.
 
     /// Human-readable multi-line description (used in docs and debugging).
     pub fn describe(&self) -> String {
@@ -493,14 +469,20 @@ mod tests {
         state.graph.add_access("missing");
         let id = s.add_state(state);
         s.cfg = ControlFlow::State(id);
-        assert!(matches!(s.validate(), Err(SdfgError::UnknownArray(_))));
+        assert!(matches!(
+            s.validate_strict(),
+            Err(SdfgError::UnknownArray(_))
+        ));
     }
 
     #[test]
     fn validate_detects_unknown_state() {
         let mut s = Sdfg::new("p");
         s.cfg = ControlFlow::State(3);
-        assert!(matches!(s.validate(), Err(SdfgError::UnknownState(3))));
+        assert!(matches!(
+            s.validate_strict(),
+            Err(SdfgError::UnknownState(3))
+        ));
     }
 
     #[test]

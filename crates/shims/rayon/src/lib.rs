@@ -20,6 +20,11 @@
 //! (sequentially) instead of re-entering the queue, which keeps the pool
 //! deadlock-free without work stealing.
 
+// Unsafe is genuinely needed here (lifetime erasure of borrowed job
+// closures); the lint keeps every unsafe operation inside an explicit
+// block with its own safety argument.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};

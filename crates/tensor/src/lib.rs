@@ -44,6 +44,8 @@
 //! assert!(dace_tensor::allclose(&b, &b.clone(), 1e-8, 1e-12));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod linalg;
 pub mod ops;

@@ -69,7 +69,7 @@ fn gradient_program_is_a_single_valid_sdfg() {
     )
     .unwrap();
     let plan = engine.plan();
-    plan.sdfg.validate().unwrap();
+    plan.sdfg.validate_strict().unwrap();
     assert!(plan.backward_start_index > 0);
     assert_eq!(plan.output, "OUT");
 }
